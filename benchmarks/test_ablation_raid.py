@@ -1,0 +1,90 @@
+"""Extension ablation — redundant disk organizations (§6 future work).
+
+"Secondly, the impact of a RAID in the underlying disk system will reduce
+the small write performance."  This benchmark measures exactly that: the
+same request patterns against the plain striped array (the paper's
+configuration), a mirrored pair, RAID-5, and Gray/Walker parity striping.
+
+Asserted shape: RAID-5's read-modify-write makes small random writes
+substantially slower than on the plain striped array, while large
+sequential reads remain competitive (within a data-drive factor).
+"""
+
+from repro.disk.geometry import WREN_IV
+from repro.disk.raid import MirroredArray, ParityStripedArray, Raid5Array
+from repro.disk.array import StripedArray
+from repro.disk.request import IoKind
+from repro.report.tables import Table
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+from repro.units import KIB, MIB
+
+from benchmarks.conftest import emit
+
+GEOMETRY = WREN_IV.scaled(0.25)
+
+
+def mean_latency(make_array, kind, request_units, n_requests, seed=5):
+    sim = Simulator()
+    array = make_array(sim)
+    rng = RandomStream(seed)
+    done = {}
+
+    def worker():
+        total = 0.0
+        for _ in range(n_requests):
+            start = rng.uniform_int(0, max(0, array.capacity_units - request_units))
+            began = sim.now
+            yield array.transfer(kind, start, request_units)
+            total += sim.now - began
+        done["mean"] = total / n_requests
+
+    sim.process(worker())
+    sim.run()
+    return done["mean"]
+
+
+ORGANIZATIONS = {
+    "striped": lambda sim: StripedArray(sim, GEOMETRY, 8, 24 * KIB, KIB),
+    "mirrored": lambda sim: MirroredArray(sim, GEOMETRY, 4, 24 * KIB, KIB),
+    "raid5": lambda sim: Raid5Array(sim, GEOMETRY, 8, 24 * KIB, KIB),
+    "parity-striped": lambda sim: ParityStripedArray(sim, GEOMETRY, 8, KIB),
+}
+
+
+def build_raid_ablation():
+    rows = {}
+    for name, factory in ORGANIZATIONS.items():
+        rows[name] = {
+            "small-write": mean_latency(factory, IoKind.WRITE, 8, 150),
+            "small-read": mean_latency(factory, IoKind.READ, 8, 150),
+            "big-read": mean_latency(factory, IoKind.READ, 4 * MIB // KIB, 15),
+        }
+    table = Table(
+        ["Organization", "8K write (ms)", "8K read (ms)", "4M read (ms)"],
+        title="Ablation (paper §6 future work): request latency by disk "
+        "organization",
+    )
+    for name, metrics in rows.items():
+        table.add_row(
+            [
+                name,
+                f"{metrics['small-write']:.1f}",
+                f"{metrics['small-read']:.1f}",
+                f"{metrics['big-read']:.1f}",
+            ]
+        )
+    return table.render(), rows
+
+
+def test_ablation_raid(benchmark):
+    text, rows = benchmark.pedantic(build_raid_ablation, rounds=1, iterations=1)
+    emit("ablation_raid", text)
+
+    # The paper's prediction: RAID reduces small-write performance.
+    assert rows["raid5"]["small-write"] > 1.4 * rows["striped"]["small-write"]
+    assert rows["parity-striped"]["small-write"] > 1.2 * rows["striped"]["small-write"]
+    # Reads are unharmed by parity.
+    assert rows["raid5"]["small-read"] < 1.2 * rows["striped"]["small-read"]
+    # Large sequential reads stay within a small factor on RAID-5.
+    assert rows["raid5"]["big-read"] < 2.0 * rows["striped"]["big-read"]

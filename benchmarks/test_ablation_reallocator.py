@@ -1,0 +1,107 @@
+"""Extension ablation — Koch's nightly reallocator.
+
+The paper deliberately measures the buddy system *without* Koch's
+background reallocation ("we consider only the allocation and
+deallocation algorithm"), and Table 3 duly shows severe internal
+fragmentation.  Koch's own paper reports that with the nightly
+reallocator "most files are allocated in 3 extents and average under 4%
+internal fragmentation."
+
+This ablation closes the loop: run the paper's allocation test with the
+buddy policy, then run one nightly reallocation pass, and measure both
+claims directly.
+"""
+
+from repro.core.configs import ExperimentConfig, SystemConfig
+from repro.core.experiments import allocation_fill_for, build_profile
+from repro.core.configs import BuddyPolicy
+from repro.fs.filesystem import FileSystem
+from repro.report.tables import Table
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+from repro.workload.driver import run_allocation_until_full
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, emit
+
+
+def run_with_reallocation(workload: str):
+    """Populate to the workload's operating fill (not disk-full: Koch's
+    reallocator runs nightly on a live system and needs scratch space),
+    then run one reallocation pass."""
+    system = SystemConfig(scale=1.0 if workload in ("SC", "TP") else BENCH_SCALE)
+    sim = Simulator()
+    array = system.build_array(sim)
+    allocator = BuddyPolicy().build(
+        array.capacity_units, system.disk_unit_bytes, RandomStream(BENCH_SEED)
+    )
+    fs = FileSystem(sim, array, allocator)
+    # TS at 60% fill: buddy's power-of-two rounding makes the *allocated*
+    # fraction much higher than the logical fill.
+    fill = 0.60 if workload == "TS" else allocation_fill_for(workload)
+    profile = build_profile(workload, system, fill)
+    from repro.workload.driver import WorkloadDriver
+
+    driver = WorkloadDriver(sim, fs, profile, seed=BENCH_SEED)
+    driver.populate()
+    before = fs.fragmentation()
+    before_extents = (
+        sum(h.extent_count for h in allocator.files.values())
+        / max(1, len(allocator.files))
+    )
+    fs.reorganize(max_extents=3)
+    after = fs.fragmentation()
+    after_extents = (
+        sum(h.extent_count for h in allocator.files.values())
+        / max(1, len(allocator.files))
+    )
+    return before, after, before_extents, after_extents
+
+
+def build_reallocator_ablation():
+    table = Table(
+        [
+            "Workload",
+            "Internal before",
+            "Internal after",
+            "Extents/file before",
+            "Extents/file after",
+        ],
+        title=(
+            "Ablation: Koch's nightly reallocator on the buddy system "
+            "(Koch 1987: most files in 3 extents, <4% internal frag)"
+        ),
+    )
+    outcomes = {}
+    for workload in ("SC", "TP", "TS"):
+        before, after, extents_before, extents_after = run_with_reallocation(
+            workload
+        )
+        outcomes[workload] = (before, after, extents_after)
+        table.add_row(
+            [
+                workload,
+                f"{before.internal_percent:.1f}%",
+                f"{after.internal_percent:.1f}%",
+                f"{extents_before:.1f}",
+                f"{extents_after:.1f}",
+            ]
+        )
+    return table.render(), outcomes
+
+
+def test_ablation_reallocator(benchmark):
+    text, outcomes = benchmark.pedantic(
+        build_reallocator_ablation, rounds=1, iterations=1
+    )
+    emit("ablation_reallocator", text)
+    for workload, (before, after, extents_after) in outcomes.items():
+        assert after.internal_fraction <= before.internal_fraction, workload
+    # SC and TS land near Koch's published operating point (<4% internal,
+    # ~3 extents).  TP barely moves: reshaping a 210M relation requires a
+    # contiguous ~128M scratch block Koch's whole-file copy cannot find at
+    # 75% fill — a genuine limitation of the 1987 design at database
+    # scales, and quietly part of why the paper excluded the reallocator.
+    for workload in ("SC", "TS"):
+        before, after, extents_after = outcomes[workload]
+        assert after.internal_percent < 10.0, workload
+        assert extents_after <= 3.5, workload

@@ -1,0 +1,72 @@
+"""Extension ablation — stripe-unit sensitivity (§6 future work).
+
+The paper's conclusion flags: "The different policies may show different
+sensitivities to the stripe size parameter."  This benchmark runs that
+experiment: the SC sequential test under the restricted-buddy and
+fixed-block policies with stripe units of 8K, 24K (one track, the paper's
+default), and 96K.
+
+Expected shape: the multiblock policy is fairly insensitive (its transfers
+are large enough to span all drives at any of these stripe units), while
+the fixed-block system interacts with the stripe unit through how many of
+its scattered blocks land per disk.
+"""
+
+from repro.core.configs import (
+    SELECTED_RESTRICTED,
+    ExperimentConfig,
+    FixedPolicy,
+    SystemConfig,
+)
+from repro.core.experiments import run_performance_experiment
+from repro.report.tables import Table
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, emit
+
+STRIPE_UNITS = ("8K", "24K", "96K")
+
+
+def build_stripe_ablation():
+    rows = {}
+    for stripe_unit in STRIPE_UNITS:
+        system = SystemConfig(scale=BENCH_SCALE, stripe_unit=stripe_unit)
+        for policy in (SELECTED_RESTRICTED, FixedPolicy("16K")):
+            config = ExperimentConfig(
+                policy=policy, workload="SC", system=system, seed=BENCH_SEED
+            )
+            result = run_performance_experiment(
+                config,
+                app_cap_ms=30_000,
+                seq_cap_ms=60_000,
+                run_application=False,
+            )
+            rows[(stripe_unit, policy.label)] = result.sequential.percent
+    table = Table(
+        ["Stripe unit", "restricted (seq % max)", "fixed 16K (seq % max)"],
+        title="Ablation (paper §6 future work): SC sequential throughput "
+        "vs stripe unit",
+    )
+    for stripe_unit in STRIPE_UNITS:
+        table.add_row(
+            [
+                stripe_unit,
+                f"{rows[(stripe_unit, SELECTED_RESTRICTED.label)]:.1f}%",
+                f"{rows[(stripe_unit, 'fixed[16K]')]:.1f}%",
+            ]
+        )
+    return table.render(), rows
+
+
+def test_ablation_stripe_unit(benchmark):
+    text, rows = benchmark.pedantic(build_stripe_ablation, rounds=1, iterations=1)
+    emit("ablation_stripe_unit", text)
+
+    restricted = [
+        rows[(su, SELECTED_RESTRICTED.label)] for su in STRIPE_UNITS
+    ]
+    fixed = [rows[(su, "fixed[16K]")] for su in STRIPE_UNITS]
+    # The multiblock policy always beats fixed, at every stripe unit.
+    for r_value, f_value in zip(restricted, fixed):
+        assert r_value > f_value
+    # And its sensitivity (relative spread) is modest.
+    assert (max(restricted) - min(restricted)) / max(restricted) < 0.5

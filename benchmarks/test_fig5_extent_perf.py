@@ -1,0 +1,78 @@
+"""Figure 5 — extent-based application and sequential throughput.
+
+Grouped bars over {1..5 extent ranges} × {first fit, best fit} for each
+workload.  Paper shapes: throughput is "fairly insensitive to the
+selection of best fit or first fit", and for SC/TP the best sequential
+numbers coincide with the configurations that minimize extents per file.
+"""
+
+from repro.core.sweeps import sweep_extent_performance
+from repro.report.figures import GroupedBarChart
+
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+
+PANELS = (("SC", "5a/5b"), ("TP", "5c/5d"), ("TS", "5e/5f"))
+
+
+def render_panels(workload, panel_name, points) -> str:
+    application = GroupedBarChart(
+        f"Figure {panel_name.split('/')[0]}: {workload} application "
+        "performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    sequential = GroupedBarChart(
+        f"Figure {panel_name.split('/')[1]}: {workload} sequential "
+        "performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    for point in points:
+        perf = point.performance
+        application.add(point.group_label, point.series_label, perf.application.percent)
+        sequential.add(point.group_label, point.series_label, perf.sequential.percent)
+    return application.render() + "\n\n" + sequential.render()
+
+
+def build_figure5(bench_system, seed):
+    sections = []
+    sweeps = {}
+    for workload, panel in PANELS:
+        points = sweep_extent_performance(
+            workload,
+            bench_system,
+            seed=seed,
+            app_cap_ms=APP_CAP_MS,
+            seq_cap_ms=SEQ_CAP_MS,
+        )
+        sweeps[workload] = points
+        sections.append(render_panels(workload, panel, points))
+    return "\n\n".join(sections), sweeps
+
+
+def test_fig5_extent_performance(benchmark, bench_system, bench_seed):
+    text, sweeps = benchmark.pedantic(
+        build_figure5, args=(bench_system, bench_seed), rounds=1, iterations=1
+    )
+    emit("fig5_extent_perf", text)
+
+    # Fit policy is a second-order effect: mean |first - best| sequential
+    # gap stays small relative to the throughput scale.
+    for workload, points in sweeps.items():
+        by_ranges = {}
+        for point in points:
+            by_ranges.setdefault(point.n_ranges, {})[point.fit] = (
+                point.performance.sequential.utilization
+            )
+        gaps = [
+            abs(pair["first"] - pair["best"])
+            for pair in by_ranges.values()
+            if len(pair) == 2
+        ]
+        assert sum(gaps) / len(gaps) < 0.25, workload
+
+    # SC and TP sequential throughput dwarfs TS (small files dominate TS).
+    ts_best = max(p.performance.sequential.utilization for p in sweeps["TS"])
+    for workload in ("SC", "TP"):
+        best = max(p.performance.sequential.utilization for p in sweeps[workload])
+        assert best > ts_best, workload

@@ -1,0 +1,87 @@
+"""Figure 6 (a, b) — comparative performance of the four allocation policies.
+
+The §5 head-to-head: buddy, restricted (5 sizes, grow 1, clustered),
+extent (first fit, 3 ranges), and the fixed-block baseline (4K for TS,
+16K for TP/SC), on sequential (6a) and application (6b) throughput for
+every workload.
+
+Paper shapes asserted:
+
+* 6a: every multiblock policy beats fixed block sequentially; SC and TP
+  multiblock sequential sits near the full bandwidth; TS never escapes
+  the small-file ceiling (~20%).
+* 6b: TP application throughput is limited by random reads/writes for
+  every policy (well below its sequential number).
+"""
+
+from repro.core.comparison import figure6
+from repro.report.figures import GroupedBarChart
+
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+
+
+def build_figure6(bench_system, seed):
+    cells = figure6(
+        bench_system,
+        seed=seed,
+        app_cap_ms=APP_CAP_MS,
+        seq_cap_ms=SEQ_CAP_MS,
+    )
+    sequential = GroupedBarChart(
+        "Figure 6a: Sequential performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    application = GroupedBarChart(
+        "Figure 6b: Application performance (% of max throughput)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    for cell in cells:
+        sequential.add(cell.workload, cell.policy_label, cell.sequential_percent)
+        application.add(cell.workload, cell.policy_label, cell.application_percent)
+    text = sequential.render() + "\n\n" + application.render()
+    return text, cells
+
+
+def test_fig6_comparison(benchmark, bench_system, bench_seed):
+    text, cells = benchmark.pedantic(
+        build_figure6, args=(bench_system, bench_seed), rounds=1, iterations=1
+    )
+    emit("fig6_comparison", text)
+
+    by_cell = {(c.workload, c.policy_label): c for c in cells}
+
+    def seq(workload, label_prefix):
+        for (wl, label), cell in by_cell.items():
+            if wl == workload and label.startswith(label_prefix):
+                return cell.sequential_percent
+        raise KeyError((workload, label_prefix))
+
+    def app(workload, label_prefix):
+        for (wl, label), cell in by_cell.items():
+            if wl == workload and label.startswith(label_prefix):
+                return cell.application_percent
+        raise KeyError((workload, label_prefix))
+
+    # 6a: multiblock beats fixed sequentially on every workload.
+    for workload in ("SC", "TP", "TS"):
+        fixed = seq(workload, "fixed")
+        for prefix in ("buddy", "restricted", "extent"):
+            assert seq(workload, prefix) > fixed, (workload, prefix)
+
+    # 6a: large-file workloads reach high utilization with multiblock.
+    for workload in ("SC", "TP"):
+        assert max(
+            seq(workload, "buddy"),
+            seq(workload, "restricted"),
+            seq(workload, "extent"),
+        ) > 60.0, workload
+
+    # 6a: TS never escapes the small-file ceiling.
+    for prefix in ("buddy", "restricted", "extent", "fixed"):
+        assert seq("TS", prefix) < 40.0, prefix
+
+    # 6b: TP application throughput is random-I/O limited for every policy.
+    for prefix in ("buddy", "restricted", "extent", "fixed"):
+        assert app("TP", prefix) < seq("TP", prefix), prefix

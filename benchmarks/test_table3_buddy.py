@@ -1,0 +1,95 @@
+"""Table 3 — results for buddy allocation.
+
+Regenerates the paper's Table 3: for each workload (SC, TP, TS), the buddy
+policy's internal/external fragmentation from the allocation test plus
+application and sequential throughput (as % of maximum) from the
+performance tests.
+
+Paper values for reference:
+
+    workload   internal   external   application   sequential
+    SC         43.1%      13.4%      88.0%         94.4%
+    TP         15.2%       9.0%      27.7%         93.9%
+    TS         18.4%       2.3%       8.4%         12.0%
+
+The qualitative shape asserted here: buddy's internal fragmentation is
+severe (double digits on every workload), while its sequential throughput
+on the large-file workloads (SC/TP) is high — the paper's "small number of
+extents results in very high throughput" observation.
+"""
+
+from repro.core.configs import SELECTED_BUDDY, ExperimentConfig
+from repro.core.experiments import (
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+from repro.report.tables import Table
+
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+
+
+def run_table3(bench_system, full_system, seed):
+    """Fragmentation at full scale (TS at bench scale); throughput at bench scale."""
+    frag = {}
+    for workload in ("SC", "TP", "TS"):
+        system = full_system if workload in ("SC", "TP") else bench_system
+        config = ExperimentConfig(
+            policy=SELECTED_BUDDY, workload=workload, system=system, seed=seed
+        )
+        frag[workload] = run_allocation_experiment(config).fragmentation
+    perf = {}
+    for workload in ("SC", "TP", "TS"):
+        config = ExperimentConfig(
+            policy=SELECTED_BUDDY, workload=workload, system=bench_system, seed=seed
+        )
+        perf[workload] = run_performance_experiment(
+            config,
+            app_cap_ms=APP_CAP_MS,
+            seq_cap_ms=SEQ_CAP_MS,
+            tolerance=TOLERANCE,
+        )
+    return frag, perf
+
+
+def build_table3(bench_system, full_system, seed) -> tuple[str, dict]:
+    frag, perf = run_table3(bench_system, full_system, seed)
+    table = Table(
+        [
+            "Workload",
+            "Internal Frag (% alloc)",
+            "External Frag (% total)",
+            "Application (% max)",
+            "Sequential (% max)",
+        ],
+        title="Table 3: Results for Buddy Allocation "
+        "(paper: SC 43.1/13.4/88.0/94.4, TP 15.2/9.0/27.7/93.9, "
+        "TS 18.4/2.3/8.4/12.0)",
+    )
+    for workload in ("SC", "TP", "TS"):
+        table.add_row(
+            [
+                workload,
+                f"{frag[workload].internal_percent:.1f}%",
+                f"{frag[workload].external_percent:.1f}%",
+                f"{perf[workload].application.percent:.1f}%",
+                f"{perf[workload].sequential.percent:.1f}%",
+            ]
+        )
+    return table.render(), {"frag": frag, "perf": perf}
+
+
+def test_table3_buddy(benchmark, bench_system, full_system, bench_seed):
+    text, data = benchmark.pedantic(
+        build_table3,
+        args=(bench_system, full_system, bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table3_buddy", text)
+    frag, perf = data["frag"], data["perf"]
+    # Shape assertions (see module docstring).
+    for workload in ("SC", "TP", "TS"):
+        assert frag[workload].internal_percent > 8.0, workload
+    assert perf["SC"].sequential.percent > 60.0
+    assert perf["TP"].sequential.percent > 60.0
+    assert perf["TS"].sequential.percent < 40.0

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Transaction-processing scenario: the paper's TP workload end to end.
+
+Runs the §2.2 transaction-processing environment — ten relations, five
+application logs, one transaction log — against two allocation policies
+(the extent-based policy a database vendor would pick, and the fixed-block
+baseline the paper criticizes) and reports page-read latency and overall
+throughput.  This is the paper's motivating comparison: "commercial
+database vendors usually choose to implement their own file system on a
+raw disk partition ... to guarantee physical contiguity."
+
+Run:  python3 examples/database_server.py [scale]
+"""
+
+import sys
+
+from repro import ExperimentConfig, ExtentPolicy, FixedPolicy, SystemConfig
+from repro.core.experiments import run_performance_experiment
+from repro.report.tables import Table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    system = SystemConfig(scale=scale)
+    print(f"TP workload on a {scale:g}x-scale array "
+          f"({system.capacity_bytes // 2**20} MiB)\n")
+
+    table = Table(
+        ["Policy", "Application (% max)", "Sequential (% max)",
+         "Ops completed", "Governor conversions"],
+        title="Transaction processing: extent policy vs fixed-block baseline",
+    )
+    results = {}
+    for policy in (ExtentPolicy(range_means=("512K", "1M", "16M")), FixedPolicy("16K")):
+        config = ExperimentConfig(
+            policy=policy, workload="TP", system=system, seed=7
+        )
+        result = run_performance_experiment(
+            config, app_cap_ms=60_000, seq_cap_ms=60_000
+        )
+        results[policy.label] = result
+        table.add_row(
+            [
+                policy.label,
+                f"{result.application.percent:.1f}%",
+                f"{result.sequential.percent:.1f}%",
+                sum(result.operation_counts.values()),
+                result.governor_conversions,
+            ]
+        )
+    print(table.render())
+
+    extent = next(v for k, v in results.items() if k.startswith("extent"))
+    fixed = next(v for k, v in results.items() if k.startswith("fixed"))
+    gain = (
+        extent.sequential.utilization / max(fixed.sequential.utilization, 1e-9)
+    )
+    print(
+        f"\nSequentially scanning a relation is {gain:.1f}x faster with"
+        " extent allocation:\nthe relation lives in a few physically"
+        " contiguous extents instead of thousands\nof scattered 16K blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Mini Figure 6: all four policies, all three workloads, one screen.
+
+A compact version of the paper's §5 comparison (Figure 6a/6b) that runs in
+about a minute at the default scale.  Use the benchmark suite
+(``pytest benchmarks/test_fig6_comparison.py --benchmark-only -s``) for
+the full-length measured version.
+
+Run:  python3 examples/policy_shootout.py [scale]
+"""
+
+import sys
+
+from repro import SystemConfig, figure6
+from repro.report.figures import GroupedBarChart
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
+    system = SystemConfig(scale=scale)
+    print(f"Policy shootout at {scale:g}x scale "
+          f"({system.capacity_bytes // 2**20} MiB)\n")
+
+    cells = figure6(system, seed=17, app_cap_ms=40_000, seq_cap_ms=40_000)
+
+    sequential = GroupedBarChart(
+        "Sequential performance (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    application = GroupedBarChart(
+        "Application performance (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    for cell in cells:
+        sequential.add(cell.workload, cell.policy_label, cell.sequential_percent)
+        application.add(cell.workload, cell.policy_label, cell.application_percent)
+    print(sequential.render())
+    print()
+    print(application.render())
+
+
+if __name__ == "__main__":
+    main()

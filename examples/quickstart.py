@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: build a read-optimized file system and measure one file.
+
+Creates the paper's disk array (at 10% scale), puts the selected
+restricted-buddy allocation policy on it, writes a handful of files of
+very different sizes, and times whole-file sequential reads — showing the
+multiblock effect directly: bigger files get bigger blocks, fewer seeks,
+and a higher share of the array's bandwidth.
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro import (
+    FileSystem,
+    RandomStream,
+    RestrictedPolicy,
+    Simulator,
+    SystemConfig,
+)
+from repro.report.tables import Table
+from repro.units import MIB, format_size, parse_size
+
+
+def main() -> None:
+    system = SystemConfig(scale=0.1)  # a 280 M slice of the paper's array
+    sim = Simulator()
+    array = system.build_array(sim)
+    policy = RestrictedPolicy()  # 1K..16M ladder, grow 1, clustered
+    allocator = policy.build(
+        array.capacity_units, system.disk_unit_bytes, RandomStream(42)
+    )
+    fs = FileSystem(sim, array, allocator)
+
+    print(f"disk system : {len(array.drives)} drives, "
+          f"{format_size(array.capacity_bytes)} capacity, "
+          f"{array.max_bandwidth_bytes_per_ms * 1000 / MIB:.1f} MiB/s max")
+    print(f"policy      : {policy.label}\n")
+
+    sizes = ["8K", "96K", "1M", "16M", "64M"]
+    files = []
+    for size_text in sizes:
+        fs_file = fs.create(tag=size_text)
+        fs.allocate_to(fs_file, parse_size(size_text), step_bytes=8192)
+        files.append(fs_file)
+
+    table = Table(
+        ["File", "Extents", "Largest block", "Read time", "Throughput", "% of max"],
+        title="Whole-file sequential reads",
+    )
+    for fs_file in files:
+        outcome = {}
+
+        def reader(f=fs_file):
+            started = sim.now
+            yield from fs.read_whole(f)
+            outcome["ms"] = sim.now - started
+
+        sim.process(reader())
+        sim.run()
+        ms = outcome["ms"]
+        rate = fs_file.length_bytes / ms  # bytes per ms
+        table.add_row(
+            [
+                fs_file.tag,
+                fs_file.handle.extent_count,
+                format_size(
+                    max(e.length for e in fs_file.handle.extents) * fs.unit_bytes
+                ),
+                f"{ms:.1f} ms",
+                f"{rate * 1000 / MIB:.2f} MiB/s",
+                f"{100 * rate / array.max_bandwidth_bytes_per_ms:.1f}%",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nNote how the block size ladder kicks in: small files stay in"
+        " small blocks\n(no wasted space), large files get 1M/16M blocks"
+        " and stream at near-full\narray bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

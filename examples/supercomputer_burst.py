@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Supercomputing scenario: large sequential bursts on a striped array.
+
+Runs the §2.2 supercomputer workload (one 500M file, fifteen 100M files,
+ten 10M scratch files, all read/written in 512K/32K bursts) under each of
+the paper's allocation policies and shows how striping plus contiguous
+allocation turns the eight-disk array into one fast logical disk.
+
+Run:  python3 examples/supercomputer_burst.py [scale]
+"""
+
+import sys
+
+from repro import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from repro.core.experiments import run_performance_experiment
+from repro.report.figures import GroupedBarChart
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    system = SystemConfig(scale=scale)
+    print(f"SC workload on a {scale:g}x-scale array "
+          f"({system.capacity_bytes // 2**20} MiB)\n")
+
+    chart = GroupedBarChart(
+        "Supercomputer workload (% of maximum array bandwidth)",
+        value_format="{:.1f}%",
+        maximum=100.0,
+    )
+    policies = [
+        BuddyPolicy(),
+        RestrictedPolicy(),
+        ExtentPolicy(range_means=("512K", "1M", "16M")),
+        FixedPolicy("16K"),
+    ]
+    for policy in policies:
+        config = ExperimentConfig(
+            policy=policy, workload="SC", system=system, seed=11
+        )
+        result = run_performance_experiment(
+            config, app_cap_ms=60_000, seq_cap_ms=60_000
+        )
+        chart.add("application test", policy.label, result.application.percent)
+        chart.add("sequential test", policy.label, result.sequential.percent)
+    print(chart.render())
+    print(
+        "\nAll three multiblock policies exploit the array; the fixed-block"
+        "\nbaseline pays a seek for every 16K block and cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Time-sharing scenario: small-file churn, fragmentation, and aging.
+
+Runs the §2.2 time-sharing workload (thousands of 8K files churned by
+create/read/delete, plus 96K files that grow and shrink) through the
+allocation test on each policy, reporting the fragmentation picture the
+paper uses to judge disk-space efficiency — then shows the grow-factor
+lever: g=2 trades slightly coarser growth for measurably less internal
+fragmentation (Figure 1f's observation).
+
+Run:  python3 examples/timesharing_aging.py [scale]
+"""
+
+import sys
+
+from repro import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FfsPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from repro.core.configs import extent_ranges_for
+from repro.core.experiments import run_allocation_experiment
+from repro.report.tables import Table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    system = SystemConfig(scale=scale)
+    print(f"TS workload on a {scale:g}x-scale array "
+          f"({system.capacity_bytes // 2**20} MiB)\n")
+
+    table = Table(
+        ["Policy", "Internal frag", "External frag", "Files at failure",
+         "Avg extents/file"],
+        title="Time-sharing allocation test (run until the disk fills)",
+    )
+    policies = [
+        BuddyPolicy(),
+        RestrictedPolicy(block_sizes=("1K", "8K", "64K"), grow_factor=1),
+        RestrictedPolicy(block_sizes=("1K", "8K", "64K"), grow_factor=2),
+        ExtentPolicy(range_means=extent_ranges_for("TS", 3)),
+        FixedPolicy("4K"),
+        FfsPolicy("8K"),
+    ]
+    results = {}
+    for policy in policies:
+        config = ExperimentConfig(
+            policy=policy, workload="TS", system=system, seed=3
+        )
+        result = run_allocation_experiment(config)
+        results[policy.label] = result
+        frag = result.fragmentation
+        table.add_row(
+            [
+                policy.label,
+                f"{frag.internal_percent:.1f}%",
+                f"{frag.external_percent:.1f}%",
+                result.file_count,
+                f"{result.average_extents_per_file:.1f}",
+            ]
+        )
+    print(table.render())
+
+    grow1 = results["restricted[3 sizes, g=1, clustered]"].fragmentation
+    grow2 = results["restricted[3 sizes, g=2, clustered]"].fragmentation
+    print(
+        f"\nGrow factor 2 cut internal fragmentation from "
+        f"{grow1.internal_percent:.1f}% to {grow2.internal_percent:.1f}% — "
+        "files stay in small\nblocks longer, so less of the last block is"
+        " wasted (the paper's Figure 1f)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,230 @@
+"""Allocator interface shared by all four policies.
+
+An allocator manages the disk system's linear address space (in disk
+units).  The file-system layer asks it to grow, shrink, create, and delete
+files; the allocator decides *placement* and returns :class:`Extent`
+lists.  Placement is the entire difference between the policies the paper
+compares — the disk model and workload never change.
+
+Every allocator also owns one disk unit of metadata per file (the file
+descriptor), so the meta-data bandwidth story is consistent across
+policies; the restricted buddy policy additionally places descriptors
+region-consciously.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import DiskFullError, FileSystemError
+from ..sim.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of disk units: ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last unit."""
+        return self.start + self.length
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise FileSystemError(f"invalid extent {self.start}+{self.length}")
+
+
+@dataclass
+class AllocFile:
+    """Per-file allocation state.
+
+    The allocator creates these and keeps whatever policy-specific fields
+    it needs in ``policy_state``; the file system reads ``extents`` to map
+    logical offsets to disk addresses.
+
+    Attributes:
+        file_id: unique id assigned at creation.
+        extents: allocation in logical order — extent ``i`` holds the bytes
+            that logically follow extent ``i-1``.
+        descriptor: the one-unit metadata extent.
+        policy_state: allocator-private bookkeeping.
+    """
+
+    file_id: int
+    extents: list[Extent] = field(default_factory=list)
+    descriptor: Extent | None = None
+    policy_state: dict = field(default_factory=dict)
+    deleted: bool = False
+
+    @property
+    def allocated_units(self) -> int:
+        """Data units currently allocated to the file."""
+        return sum(extent.length for extent in self.extents)
+
+    @property
+    def extent_count(self) -> int:
+        """Number of data extents (the paper's Table 4 statistic)."""
+        return len(self.extents)
+
+
+class Allocator(abc.ABC):
+    """Base class: address-space accounting plus the policy hooks.
+
+    Subclasses implement :meth:`_allocate_descriptor`, :meth:`_extend`,
+    :meth:`_release_extent` and may override :meth:`create` for placement
+    hints.  The base class tracks allocated totals and file liveness so
+    fragmentation metrics and invariant checks are uniform.
+    """
+
+    #: Human-readable policy name (subclasses override).
+    name = "abstract"
+
+    def __init__(self, capacity_units: int, rng: RandomStream | None = None) -> None:
+        if capacity_units <= 0:
+            raise FileSystemError(f"capacity must be positive: {capacity_units}")
+        self.capacity_units = capacity_units
+        self.rng = rng or RandomStream(0, "allocator")
+        self._ids = itertools.count(1)
+        self.files: dict[int, AllocFile] = {}
+        self._allocated_units = 0  # data + descriptors
+        self.allocation_requests = 0
+        self.failed_requests = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def create(self, size_hint_units: int = 0) -> AllocFile:
+        """Create a file: allocate its descriptor, no data yet.
+
+        Args:
+            size_hint_units: expected eventual size; extent-based policies
+                use it to pick the file's extent size.
+
+        Raises:
+            DiskFullError: no room for even the descriptor.
+        """
+        handle = AllocFile(file_id=next(self._ids))
+        handle.descriptor = self._allocate_descriptor(handle, size_hint_units)
+        self._allocated_units += handle.descriptor.length
+        self.files[handle.file_id] = handle
+        return handle
+
+    def extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        """Grow the file's allocation by at least ``n_units``.
+
+        Returns the extents added (policies may round up — buddy doubles).
+
+        Raises:
+            DiskFullError: the request cannot be satisfied; the file is
+                left unchanged (no partial allocations survive a failure).
+        """
+        self._check_live(handle)
+        if n_units <= 0:
+            raise FileSystemError(f"extend by non-positive size: {n_units}")
+        self.allocation_requests += 1
+        try:
+            added = self._extend(handle, n_units)
+        except DiskFullError:
+            self.failed_requests += 1
+            raise
+        handle.extents.extend(added)
+        self._allocated_units += sum(extent.length for extent in added)
+        return added
+
+    def truncate(self, handle: AllocFile, n_units: int) -> int:
+        """Free whole extents from the tail covering up to ``n_units``.
+
+        Frees trailing extents while their cumulative length stays within
+        ``n_units`` (a partial extent is never split off — block-organized
+        policies shrink in block steps).  Returns units actually freed.
+        """
+        self._check_live(handle)
+        if n_units < 0:
+            raise FileSystemError(f"truncate by negative size: {n_units}")
+        freed = 0
+        while handle.extents and freed + handle.extents[-1].length <= n_units:
+            extent = handle.extents.pop()
+            self._release_extent(handle, extent)
+            freed += extent.length
+        self._allocated_units -= freed
+        return freed
+
+    def delete(self, handle: AllocFile) -> None:
+        """Free all data extents and the descriptor; retire the file."""
+        self._check_live(handle)
+        for extent in reversed(handle.extents):
+            self._release_extent(handle, extent)
+            self._allocated_units -= extent.length
+        handle.extents.clear()
+        if handle.descriptor is not None:
+            self._release_descriptor(handle, handle.descriptor)
+            self._allocated_units -= handle.descriptor.length
+            handle.descriptor = None
+        handle.deleted = True
+        del self.files[handle.file_id]
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def allocated_units(self) -> int:
+        """Units currently allocated (data + descriptors)."""
+        return self._allocated_units
+
+    @property
+    def free_units(self) -> int:
+        """Units not allocated to any file."""
+        return self.capacity_units - self._allocated_units
+
+    @property
+    def utilization(self) -> float:
+        """Allocated fraction of the address space."""
+        return self._allocated_units / self.capacity_units
+
+    def _check_live(self, handle: AllocFile) -> None:
+        if handle.deleted or handle.file_id not in self.files:
+            raise FileSystemError(f"file {handle.file_id} is not live")
+
+    def _fail(self, n_units: int) -> DiskFullError:
+        """Build the disk-full error for a request of ``n_units``."""
+        return DiskFullError(n_units, self.free_units)
+
+    # -- policy hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _allocate_descriptor(self, handle: AllocFile, size_hint_units: int) -> Extent:
+        """Place the file's one-unit descriptor."""
+
+    @abc.abstractmethod
+    def _extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        """Allocate at least ``n_units`` more for the file."""
+
+    @abc.abstractmethod
+    def _release_extent(self, handle: AllocFile, extent: Extent) -> None:
+        """Return a data extent to the free space."""
+
+    @abc.abstractmethod
+    def _release_descriptor(self, handle: AllocFile, extent: Extent) -> None:
+        """Return a descriptor to the free space."""
+
+    # -- validation -----------------------------------------------------------
+
+    def check_no_overlap(self) -> None:
+        """Assert no two live allocations overlap (test hook, O(n log n))."""
+        spans: list[tuple[int, int]] = []
+        for handle in self.files.values():
+            for extent in handle.extents:
+                spans.append((extent.start, extent.end))
+            if handle.descriptor is not None:
+                spans.append((handle.descriptor.start, handle.descriptor.end))
+        spans.sort()
+        for (start_a, end_a), (start_b, _) in zip(spans, spans[1:]):
+            if start_b < end_a:
+                raise FileSystemError(
+                    f"overlapping allocations at {start_b} (< {end_a})"
+                )
+        if spans and spans[-1][1] > self.capacity_units:
+            raise FileSystemError("allocation beyond end of address space")

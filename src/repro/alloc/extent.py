@@ -1,0 +1,181 @@
+"""Extent-based allocation (§4.3), the XPRS/[STON89] policy.
+
+"In the extent based models, every file has an extent size associated with
+it.  Each time a file grows beyond its current allocation, additional disk
+storage is allocated in extent sized chunks. ... an extent may begin at
+any address.  When an extent is freed, it is coalesced with its adjoining
+extents if they are free."
+
+Design parameters, as in the paper:
+
+* **fit policy** — first-fit (address order; tends to cluster allocations
+  "toward the beginning of the disk system") or best-fit (smallest
+  adequate hole).
+* **extent size ranges** — each range is a normal distribution whose
+  standard deviation is 10 % of its mean.  A file draws its extent size
+  once, at creation, from the range its :class:`ExtentSizeConfig`
+  assignment rule selects (by the file's allocation-size hint).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStream
+from ..structures.intervals import FreeExtentMap
+from .base import AllocFile, Allocator, Extent
+
+#: The paper's deviation rule: sigma = 10 % of the range mean.
+DEVIATION_FRACTION = 0.10
+
+
+class FitPolicy(enum.Enum):
+    """Hole-selection rule for new extents."""
+
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+
+
+@dataclass(frozen=True)
+class ExtentSizeConfig:
+    """The extent-size ranges of one configuration.
+
+    Attributes:
+        range_means_units: the means of the normal extent-size ranges,
+            ascending, in disk units (e.g. Fig. 4's "1K, 8K, 1M" for TS).
+    """
+
+    range_means_units: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.range_means_units:
+            raise ConfigurationError("need at least one extent range")
+        if any(mean <= 0 for mean in self.range_means_units):
+            raise ConfigurationError("extent range means must be positive")
+        if list(self.range_means_units) != sorted(self.range_means_units):
+            raise ConfigurationError("extent range means must be ascending")
+
+    @property
+    def n_ranges(self) -> int:
+        """Number of ranges (the x-axis of Figures 4 and 5)."""
+        return len(self.range_means_units)
+
+    def pick_range_mean(self, allocation_hint_units: int) -> int:
+        """Select the range a file uses, from its allocation-size hint.
+
+        The hint is the file type's *Allocation Size* parameter (Table 2:
+        "For extent based systems, mean extent size").  The closest range
+        mean wins (log-scale distance, since ranges span 1K..16M); with no
+        hint the smallest range is used.
+        """
+        if allocation_hint_units <= 0:
+            return self.range_means_units[0]
+        best_mean = self.range_means_units[0]
+        best_distance = None
+        for mean in self.range_means_units:
+            larger = max(mean, allocation_hint_units)
+            smaller = min(mean, allocation_hint_units)
+            distance = larger / smaller  # ratio distance == log-scale
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_mean = mean
+        return best_mean
+
+
+class ExtentAllocator(Allocator):
+    """First-fit / best-fit extent allocation over a coalescing hole list."""
+
+    name = "extent"
+
+    def __init__(
+        self,
+        capacity_units: int,
+        size_config: ExtentSizeConfig,
+        fit: FitPolicy = FitPolicy.FIRST_FIT,
+        rng: RandomStream | None = None,
+    ) -> None:
+        super().__init__(capacity_units, rng)
+        self.size_config = size_config
+        self.fit = fit
+        self._free = FreeExtentMap(capacity_units)
+        self._size_stream = self.rng.fork("extent-sizes")
+
+    # -- placement ------------------------------------------------------------
+
+    def _take(self, n_units: int) -> int:
+        """Carve ``n_units`` from the free map per the fit policy."""
+        if self.fit is FitPolicy.FIRST_FIT:
+            start = self._free.take_first_fit(n_units)
+        else:
+            start = self._free.take_best_fit(n_units)
+        if start is None:
+            raise self._fail(n_units)
+        return start
+
+    def _file_extent_units(self, handle: AllocFile, size_hint_units: int) -> int:
+        """Draw the file's extent size (once, at creation)."""
+        mean = self.size_config.pick_range_mean(size_hint_units)
+        drawn = self._size_stream.normal(
+            float(mean), DEVIATION_FRACTION * mean, minimum=1.0
+        )
+        return max(1, int(round(drawn)))
+
+    # -- policy hooks -------------------------------------------------------
+
+    def _allocate_descriptor(self, handle: AllocFile, size_hint_units: int) -> Extent:
+        handle.policy_state["extent_units"] = self._file_extent_units(
+            handle, size_hint_units
+        )
+        start = self._take(1)
+        return Extent(start, 1)
+
+    def _extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        extent_units = handle.policy_state["extent_units"]
+        added: list[Extent] = []
+        allocated = 0
+        try:
+            while allocated < n_units:
+                start = self._take(extent_units)
+                added.append(Extent(start, extent_units))
+                allocated += extent_units
+        except Exception:
+            # No partial growth on failure: hand back what we carved.
+            for extent in added:
+                self._free.release(extent.start, extent.length)
+            raise
+        return added
+
+    def _release_extent(self, handle: AllocFile, extent: Extent) -> None:
+        self._free.release(extent.start, extent.length)
+
+    def _release_descriptor(self, handle: AllocFile, extent: Extent) -> None:
+        self._free.release(extent.start, extent.length)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def hole_count(self) -> int:
+        """Number of free holes (external-fragmentation texture)."""
+        return self._free.fragment_count
+
+    @property
+    def largest_hole_units(self) -> int:
+        """Largest single free hole."""
+        return self._free.largest_free()
+
+    def average_extents_per_file(self) -> float:
+        """Mean data-extent count over live files (Table 4's statistic)."""
+        if not self.files:
+            return 0.0
+        total = sum(handle.extent_count for handle in self.files.values())
+        return total / len(self.files)
+
+    def check_free_space(self) -> None:
+        """Validate the hole list and the unit accounting (test hook)."""
+        self._free.check_invariants()
+        if self._free.free_units != self.free_units:
+            raise ConfigurationError(
+                f"free map {self._free.free_units} != accounting {self.free_units}"
+            )

@@ -1,0 +1,262 @@
+"""FFS-style allocation: blocks plus fragments (extension, paper §1).
+
+"The BSD Fast File System is an evolutionary step from the simple fixed
+block system.  Files are composed of a number of fixed sized 'blocks' and
+a few smaller 'fragments'.  In this way, tiny files may be composed of
+fragments, thus avoiding excessive internal fragmentation.  At the same
+time, the larger block size ... allows more data to be transferred for
+each seek."  [MCKU84]
+
+This extension policy implements that design on the simulator's address
+space so FFS can be lined up against the paper's multiblock policies:
+
+* a file is full blocks plus at most one *fragment tail* — a contiguous
+  run of sub-block fragments sharing a partial block with other tails;
+* when a file with a fragment tail grows, the tail is **promoted**: its
+  fragments are freed and re-allocated as part of a larger tail or a full
+  block (the famous FFS fragment copy; the copy's I/O is not simulated,
+  matching the untimed allocation path of the other policies);
+* placement is cylinder-group-aware: descriptors rotate across groups,
+  a file's blocks prefer its descriptor's group.
+
+The allocator reshapes a file's existing tail during ``extend``, so it
+sets ``handle.policy_state["remapped"]`` — the file system rebuilds its
+extent map when it sees the flag.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStream
+from ..structures.sortedlist import SortedAddresses
+from ..units import ceil_div
+from .base import AllocFile, Allocator, Extent
+
+#: Default FFS geometry: 8K blocks of 1K fragments (8:1, the classic ratio).
+DEFAULT_BLOCK_UNITS = 8
+
+
+class FfsAllocator(Allocator):
+    """Blocks + fragments with cylinder-group placement.
+
+    Args:
+        capacity_units: address-space size (1 unit == 1 fragment).
+        block_units: fragments per block (8 by default).
+        group_units: cylinder-group size; block-aligned.  Defaults to
+            ~1/16 of capacity (at least one block).
+    """
+
+    name = "ffs"
+
+    def __init__(
+        self,
+        capacity_units: int,
+        block_units: int = DEFAULT_BLOCK_UNITS,
+        group_units: int | None = None,
+        rng: RandomStream | None = None,
+    ) -> None:
+        super().__init__(capacity_units, rng)
+        if block_units <= 1:
+            raise ConfigurationError(f"block must exceed one fragment: {block_units}")
+        self.block_units = block_units
+        n_blocks = capacity_units // block_units
+        if n_blocks == 0:
+            raise ConfigurationError("capacity smaller than one block")
+        if group_units is None:
+            group_units = max(block_units, (capacity_units // 16))
+        group_units -= group_units % block_units
+        self.group_units = max(block_units, group_units)
+        self._n_groups = -(-capacity_units // self.group_units)
+        #: whole free blocks, by start address.
+        self._free_blocks = SortedAddresses(
+            [i * block_units for i in range(n_blocks)]
+        )
+        #: partial blocks: block start -> bitmask of free fragments
+        #: (bit i set == fragment i free).
+        self._partial: dict[int, int] = {}
+        self._usable_units = n_blocks * block_units
+        self._next_group = 0
+
+    # -- placement helpers ----------------------------------------------------
+
+    def _group_of(self, address: int) -> int:
+        return address // self.group_units
+
+    def _group_bounds(self, group: int) -> tuple[int, int]:
+        low = group * self.group_units
+        return low, min(low + self.group_units, self.capacity_units)
+
+    def _take_block(self, preferred_group: int) -> int | None:
+        """A whole free block, preferring the given cylinder group."""
+        for distance in range(self._n_groups):
+            group = (preferred_group + distance) % self._n_groups
+            low, high = self._group_bounds(group)
+            candidate = self._free_blocks.successor(low)
+            if candidate is not None and candidate < high:
+                self._free_blocks.remove(candidate)
+                return candidate
+        return None
+
+    def _take_fragments(self, n_fragments: int, preferred_group: int) -> int | None:
+        """A contiguous run of ``n_fragments``, sharing partial blocks.
+
+        Scans partial blocks in the preferred group first (then anywhere)
+        for a long-enough run of free fragments; only if none exists is a
+        whole block broken, FFS's rule for keeping blocks intact.
+        """
+        run_mask = (1 << n_fragments) - 1
+
+        def from_partials(in_group: bool) -> int | None:
+            for block_start, mask in self._partial.items():
+                if (self._group_of(block_start) == preferred_group) != in_group:
+                    continue
+                offset = self._find_run(mask, n_fragments)
+                if offset is not None:
+                    self._partial[block_start] = mask & ~(run_mask << offset)
+                    if self._partial[block_start] == 0:
+                        del self._partial[block_start]
+                    return block_start + offset
+            return None
+
+        def break_block(group: int) -> int | None:
+            low, high = self._group_bounds(group)
+            candidate = self._free_blocks.successor(low)
+            if candidate is None or candidate >= high:
+                return None
+            self._free_blocks.remove(candidate)
+            remainder = ((1 << self.block_units) - 1) & ~run_mask
+            if remainder:
+                self._partial[candidate] = remainder
+            return candidate
+
+        # FFS order: a partial block in this group; break a block in this
+        # group; a partial block anywhere; break a block anywhere.
+        found = from_partials(in_group=True)
+        if found is None:
+            found = break_block(preferred_group)
+        if found is None:
+            found = from_partials(in_group=False)
+        if found is None:
+            block_start = self._take_block(preferred_group)
+            if block_start is None:
+                return None
+            remainder = ((1 << self.block_units) - 1) & ~run_mask
+            if remainder:
+                self._partial[block_start] = remainder
+            found = block_start
+        return found
+
+    def _find_run(self, mask: int, n_fragments: int) -> int | None:
+        """Lowest offset of ``n_fragments`` consecutive set bits in mask."""
+        run_mask = (1 << n_fragments) - 1
+        for offset in range(self.block_units - n_fragments + 1):
+            if (mask >> offset) & run_mask == run_mask:
+                return offset
+        return None
+
+    def _release_run(self, start: int, length: int) -> None:
+        """Return fragments/blocks; whole-free blocks rejoin the block pool."""
+        position = start
+        remaining = length
+        while remaining > 0:
+            block_start = position - (position % self.block_units)
+            offset = position - block_start
+            take = min(self.block_units - offset, remaining)
+            run_mask = ((1 << take) - 1) << offset
+            mask = self._partial.get(block_start, 0)
+            if mask & run_mask:
+                raise ConfigurationError(
+                    f"double free of fragments in block {block_start}"
+                )
+            mask |= run_mask
+            if mask == (1 << self.block_units) - 1:
+                self._partial.pop(block_start, None)
+                self._free_blocks.add(block_start)
+            else:
+                self._partial[block_start] = mask
+            position += take
+            remaining -= take
+
+    # -- policy hooks -------------------------------------------------------
+
+    def _allocate_descriptor(self, handle: AllocFile, size_hint_units: int) -> Extent:
+        group = self._next_group
+        self._next_group = (self._next_group + 1) % self._n_groups
+        start = self._take_fragments(1, group)
+        if start is None:
+            raise self._fail(1)
+        handle.policy_state["group"] = self._group_of(start)
+        return Extent(start, 1)
+
+    def _extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        group = handle.policy_state.get("group", 0)
+        # Promote an existing fragment tail: free it and fold its length
+        # into this request (the FFS fragment copy).
+        tail_units = 0
+        if handle.extents and handle.extents[-1].length % self.block_units:
+            tail = handle.extents.pop()
+            self._release_run(tail.start, tail.length)
+            self._allocated_units -= tail.length
+            tail_units = tail.length
+            handle.policy_state["remapped"] = True
+        need = n_units + tail_units
+
+        added: list[Extent] = []
+        try:
+            full_blocks, tail_fragments = divmod(need, self.block_units)
+            for _ in range(full_blocks):
+                start = self._take_block(group)
+                if start is None:
+                    raise self._fail(self.block_units)
+                added.append(Extent(start, self.block_units))
+            if tail_fragments:
+                start = self._take_fragments(tail_fragments, group)
+                if start is None:
+                    raise self._fail(tail_fragments)
+                added.append(Extent(start, tail_fragments))
+        except Exception:
+            for extent in added:
+                self._release_run(extent.start, extent.length)
+            if tail_units:
+                # Re-allocate a replacement tail so the file is unchanged
+                # in length (its exact placement may differ).
+                start = self._take_fragments(tail_units, group)
+                if start is None:  # pragma: no cover - freed it ourselves
+                    raise
+                handle.extents.append(Extent(start, tail_units))
+                self._allocated_units += tail_units
+            raise
+        return added
+
+    def _release_extent(self, handle: AllocFile, extent: Extent) -> None:
+        self._release_run(extent.start, extent.length)
+
+    def _release_descriptor(self, handle: AllocFile, extent: Extent) -> None:
+        self._release_run(extent.start, extent.length)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def free_whole_blocks(self) -> int:
+        """Blocks still intact (not broken into fragments)."""
+        return len(self._free_blocks)
+
+    @property
+    def partial_block_count(self) -> int:
+        """Blocks currently shared by fragment tails."""
+        return len(self._partial)
+
+    def check_free_space(self) -> None:
+        """Validate fragment masks and unit accounting (test hook)."""
+        free = len(self._free_blocks) * self.block_units
+        for block_start, mask in self._partial.items():
+            if block_start % self.block_units:
+                raise ConfigurationError(f"misaligned partial block {block_start}")
+            if mask <= 0 or mask >= (1 << self.block_units):
+                raise ConfigurationError(f"bad fragment mask {mask:#x}")
+            free += bin(mask).count("1")
+        expected = self._usable_units - self._allocated_units
+        if free != expected:
+            raise ConfigurationError(
+                f"ffs free structures hold {free}, accounting says {expected}"
+            )

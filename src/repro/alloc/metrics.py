@@ -1,0 +1,80 @@
+"""Fragmentation metrics, as defined in the paper's §3.
+
+* **External fragmentation** — "the amount of space still available in the
+  disk system when a request cannot be serviced ... expressed as a
+  percentage of the total available disk space."
+* **Internal fragmentation** — "the amount of space allocated to files,
+  but not being used by the file ... expressed as a percentage of the
+  total allocated space."  (A 1K file in a 4K block is 75 % internally
+  fragmented.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Allocator
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Fragmentation snapshot at the moment an allocation first failed.
+
+    Attributes:
+        internal_fraction: unused-but-allocated / allocated.
+        external_fraction: free / total capacity.
+        allocated_units: units allocated when measured.
+        used_units: units actually holding file bytes (plus descriptors,
+            which are fully used by definition).
+        capacity_units: address-space size.
+    """
+
+    internal_fraction: float
+    external_fraction: float
+    allocated_units: int
+    used_units: int
+    capacity_units: int
+
+    @property
+    def internal_percent(self) -> float:
+        """Internal fragmentation as the paper reports it (percent)."""
+        return 100.0 * self.internal_fraction
+
+    @property
+    def external_percent(self) -> float:
+        """External fragmentation as the paper reports it (percent)."""
+        return 100.0 * self.external_fraction
+
+
+def measure_fragmentation(
+    allocator: Allocator, used_units_by_file: dict[int, float]
+) -> FragmentationReport:
+    """Compute both fragmentation metrics from live allocator state.
+
+    Args:
+        allocator: the policy under test (any live state).
+        used_units_by_file: for each live ``file_id``, how many units of
+            its data allocation actually hold file bytes (file length in
+            units, capped at its allocation).
+
+    Descriptors count as fully used: every policy pays them equally and
+    the paper's metric targets data-block slack.
+    """
+    allocated = 0
+    used = 0.0
+    for file_id, handle in allocator.files.items():
+        data_units = handle.allocated_units
+        allocated += data_units
+        if handle.descriptor is not None:
+            allocated += handle.descriptor.length
+            used += handle.descriptor.length
+        used += min(float(data_units), used_units_by_file.get(file_id, 0.0))
+    internal = (allocated - used) / allocated if allocated else 0.0
+    external = allocator.free_units / allocator.capacity_units
+    return FragmentationReport(
+        internal_fraction=internal,
+        external_fraction=external,
+        allocated_units=allocated,
+        used_units=int(used),
+        capacity_units=allocator.capacity_units,
+    )

@@ -1,0 +1,323 @@
+"""The restricted buddy policy (§4.2) — the paper's central design.
+
+"As in the buddy system, the restricted buddy system applies the principle
+that as a file's size grows, so does its block size" — but only a few
+block sizes exist (e.g. 1K, 8K, 64K, 1M, 16M), logically sequential blocks
+are placed physically contiguously whenever possible, and the disk may be
+divided into 32M *bookkeeping regions* that cluster a file's blocks and
+metadata to bound seeks when contiguity fails.
+
+Three configuration knobs, exactly the paper's:
+
+* the block-size ladder (Figures 1 & 2 sweep 2, 3, 4, and 5 sizes),
+* the **grow factor** g: allocation moves from size ``a_i`` to ``a_{i+1}``
+  "when the total size of all blocks of size a_i is equal to g * a_{i+1}",
+* **clustered** vs **unclustered** free-list bookkeeping.
+
+The allocation algorithm follows the paper's region-selection summary:
+
+1. Select the optimal region (same as the file's last block; same as its
+   descriptor; or, for descriptors, the region after the last satisfied
+   request) and within it prefer the block contiguous to the file's
+   previous allocation, then the nearest following block, then any exact
+   block, then split a larger block (preferably the next sequential one).
+2. Select any region holding a block of the correct size.
+3. Only if no exact-size block exists anywhere, split a larger block in
+   the next region with available space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStream
+from ..units import KIB, MIB, parse_size
+from .base import AllocFile, Allocator, Extent
+from .freestore import LadderFreeStore
+
+#: The paper's bookkeeping region size: 32 M.
+DEFAULT_REGION_BYTES = 32 * MIB
+
+
+@dataclass(frozen=True)
+class RestrictedBuddyConfig:
+    """Configuration of one restricted buddy file system.
+
+    Attributes:
+        block_sizes_units: ascending ladder, each size dividing the next.
+        grow_factor: the paper's g (1 or 2 in the sweeps).
+        clustered: per-region free lists and region-conscious placement
+            when True; a single global region when False.
+        region_units: bookkeeping region size (32 M default).
+    """
+
+    block_sizes_units: tuple[int, ...]
+    grow_factor: int = 1
+    clustered: bool = True
+    region_units: int = DEFAULT_REGION_BYTES // KIB
+
+    def __post_init__(self) -> None:
+        sizes = self.block_sizes_units
+        if not sizes:
+            raise ConfigurationError("empty block-size ladder")
+        if list(sizes) != sorted(set(sizes)):
+            raise ConfigurationError(f"ladder must be ascending: {sizes}")
+        for small, large in zip(sizes, sizes[1:]):
+            if large % small:
+                raise ConfigurationError(f"{small} does not divide {large}")
+        if self.grow_factor < 1:
+            raise ConfigurationError(f"grow factor must be >= 1: {self.grow_factor}")
+        if self.region_units <= 0:
+            raise ConfigurationError("region size must be positive")
+
+    @property
+    def n_block_sizes(self) -> int:
+        """Ladder length (the x-axis grouping of Figures 1 and 2)."""
+        return len(self.block_sizes_units)
+
+    def label(self) -> str:
+        """Short human-readable label, e.g. ``5 sizes/grow 1/clustered``."""
+        mode = "clustered" if self.clustered else "unclustered"
+        return f"{self.n_block_sizes} sizes/grow {self.grow_factor}/{mode}"
+
+
+def ladder_from_sizes(sizes_bytes: list[str | int], disk_unit_bytes: int) -> tuple[int, ...]:
+    """Convert human block sizes (e.g. ``["1K", "8K"]``) to disk units."""
+    ladder = []
+    for size in sizes_bytes:
+        n_bytes = parse_size(size)
+        if n_bytes % disk_unit_bytes:
+            raise ConfigurationError(
+                f"block size {size} is not a multiple of the disk unit"
+            )
+        ladder.append(n_bytes // disk_unit_bytes)
+    return tuple(ladder)
+
+
+class RestrictedBuddyAllocator(Allocator):
+    """Multi-size aligned blocks, grow policy, and region clustering."""
+
+    name = "restricted-buddy"
+
+    def __init__(
+        self,
+        capacity_units: int,
+        config: RestrictedBuddyConfig,
+        rng: RandomStream | None = None,
+    ) -> None:
+        super().__init__(capacity_units, rng)
+        self.config = config
+        self.store = LadderFreeStore(capacity_units, config.block_sizes_units)
+        if config.clustered:
+            self._region_units = config.region_units
+        else:
+            self._region_units = capacity_units  # one region == no clustering
+        self._n_regions = -(-capacity_units // self._region_units)
+        self._last_satisfied_region = 0
+        # Tier bookkeeping lives in handle.policy_state:
+        #   "tier": index into the ladder of the current allocation size
+        #   "tier_units": units allocated at that tier so far
+        #   "prev_end": end address of the most recent allocation
+
+    # -- region helpers ----------------------------------------------------------
+
+    def _region_of(self, address: int) -> int:
+        return address // self._region_units
+
+    def _region_bounds(self, region: int) -> tuple[int, int]:
+        low = region * self._region_units
+        return low, min(low + self._region_units, self.capacity_units)
+
+    def _optimal_region_for_data(self, handle: AllocFile) -> int:
+        state = handle.policy_state
+        if state.get("prev_end") is not None:
+            return self._region_of(state["prev_end"] - 1)
+        if handle.descriptor is not None:
+            return self._region_of(handle.descriptor.start)
+        return self._last_satisfied_region
+
+    # -- the block hunt ------------------------------------------------------------
+
+    def _find_block(
+        self, size: int, optimal_region: int, prefer: int | None
+    ) -> tuple[int, int]:
+        """Locate a block of ``size``; returns ``(address, found size)``.
+
+        ``found size`` exceeds ``size`` when a split is required.  Raises
+        DiskFullError when nothing anywhere can satisfy the request.
+        """
+        store = self.store
+        low, high = self._region_bounds(optimal_region)
+
+        # Step 1: the optimal region — exact size, contiguity first.
+        address = store.free_exact(size, low, high, prefer)
+        if address is not None:
+            return address, size
+        # Still step 1: adequate contiguous space in-region -> split a
+        # larger block, preferably the next sequential one.
+        split = store.splittable(size, low, high, prefer)
+        if split is not None:
+            return split
+
+        # Step 2: any region with a block of the correct size, scanning
+        # from the next region around the ring.
+        for distance in range(1, self._n_regions):
+            region = (optimal_region + distance) % self._n_regions
+            region_low, region_high = self._region_bounds(region)
+            address = store.free_exact(size, region_low, region_high, None)
+            if address is not None:
+                return address, size
+
+        # Step 3: next region with available space — split a larger block.
+        for distance in range(1, self._n_regions):
+            region = (optimal_region + distance) % self._n_regions
+            region_low, region_high = self._region_bounds(region)
+            split = store.splittable(size, region_low, region_high, None)
+            if split is not None:
+                return split
+
+        raise self._fail(size)
+
+    def _allocate_block(
+        self, size: int, optimal_region: int, prefer: int | None
+    ) -> int:
+        address, found_size = self._find_block(size, optimal_region, prefer)
+        if found_size == size:
+            self.store.take(address, size)
+        else:
+            self.store.take_split(address, found_size, size)
+        self._last_satisfied_region = self._region_of(address)
+        return address
+
+    # -- grow policy ---------------------------------------------------------------
+
+    def _current_tier(self, handle: AllocFile) -> int:
+        return handle.policy_state.get("tier", 0)
+
+    def _advance_tier_if_due(self, handle: AllocFile) -> None:
+        """Apply the grow rule after an allocation at the current tier."""
+        sizes = self.config.block_sizes_units
+        state = handle.policy_state
+        tier = state.get("tier", 0)
+        if tier >= len(sizes) - 1:
+            return
+        threshold = self.config.grow_factor * sizes[tier + 1]
+        if state.get("tier_units", 0) >= threshold:
+            state["tier"] = tier + 1
+            state["tier_units"] = 0
+
+    def _retier_after_truncate(self, handle: AllocFile) -> None:
+        """Recompute tier state from the surviving extents."""
+        state = handle.policy_state
+        if not handle.extents:
+            state["tier"] = 0
+            state["tier_units"] = 0
+            state["prev_end"] = (
+                handle.descriptor.end if handle.descriptor is not None else None
+            )
+            return
+        last_size = handle.extents[-1].length
+        tier_units = 0
+        for extent in reversed(handle.extents):
+            if extent.length != last_size:
+                break
+            tier_units += extent.length
+        state["tier"] = self.config.block_sizes_units.index(last_size)
+        state["tier_units"] = tier_units
+        state["prev_end"] = handle.extents[-1].end
+
+    # -- policy hooks -------------------------------------------------------
+
+    def _allocate_descriptor(self, handle: AllocFile, size_hint_units: int) -> Extent:
+        smallest = self.config.block_sizes_units[0]
+        # "If the allocation request is for a file descriptor, the optimal
+        # region is the region after the region in which the last request
+        # was satisfied."
+        region = (self._last_satisfied_region + 1) % self._n_regions
+        address = self._allocate_block(smallest, region, None)
+        handle.policy_state["prev_end"] = None
+        handle.policy_state["tier"] = 0
+        handle.policy_state["tier_units"] = 0
+        return Extent(address, smallest)
+
+    def _extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        sizes = self.config.block_sizes_units
+        state = handle.policy_state
+        added: list[Extent] = []
+        try:
+            remaining = n_units
+            while remaining > 0:
+                tier = state.get("tier", 0)
+                size = sizes[tier]
+                optimal = self._optimal_region_for_data(handle)
+                prefer = state.get("prev_end")
+                if prefer is None and handle.descriptor is not None:
+                    # First data block: near the descriptor is "close to
+                    # related blocks (meta data)".
+                    prefer = handle.descriptor.end
+                address = self._allocate_block(size, optimal, prefer)
+                added.append(Extent(address, size))
+                state["prev_end"] = address + size
+                state["tier_units"] = state.get("tier_units", 0) + size
+                self._advance_tier_if_due(handle)
+                remaining -= size
+        except Exception:
+            for extent in reversed(added):
+                self.store.release(extent.start, extent.length)
+            self._retier_after_truncate(handle)
+            raise
+        return added
+
+    def _release_extent(self, handle: AllocFile, extent: Extent) -> None:
+        self.store.release(extent.start, extent.length)
+        # Caller (base truncate/delete) pops extents tail-first; retier
+        # lazily afterwards via _retier_after_truncate in truncate().
+
+    def _release_descriptor(self, handle: AllocFile, extent: Extent) -> None:
+        self.store.release(extent.start, extent.length)
+
+    def truncate(self, handle: AllocFile, n_units: int) -> int:
+        """Truncate, then recompute the file's grow-policy tier."""
+        freed = super().truncate(handle, n_units)
+        if freed:
+            self._retier_after_truncate(handle)
+        return freed
+
+    # -- introspection ----------------------------------------------------------
+
+    def average_extents_per_file(self) -> float:
+        """Mean data-extent (block) count across live files."""
+        if not self.files:
+            return 0.0
+        return sum(h.extent_count for h in self.files.values()) / len(self.files)
+
+    def contiguity_fraction(self) -> float:
+        """Fraction of inter-block transitions that are contiguous.
+
+        A direct measure of how well "the allocator attempts to allocate
+        logically sequential blocks of a file to physically contiguous
+        regions" is succeeding.
+        """
+        contiguous = 0
+        transitions = 0
+        for handle in self.files.values():
+            for previous, current in zip(handle.extents, handle.extents[1:]):
+                transitions += 1
+                if previous.end == current.start:
+                    contiguous += 1
+        return contiguous / transitions if transitions else 1.0
+
+    def check_free_space(self) -> None:
+        """Validate store invariants and unit accounting (test hook)."""
+        self.store.check_invariants()
+        unaddressable = self.capacity_units - self._initial_store_units()
+        if self.store.free_units + self.allocated_units + unaddressable != (
+            self.capacity_units
+        ):
+            raise ConfigurationError("restricted buddy accounting mismatch")
+
+    def _initial_store_units(self) -> int:
+        """Units the store could address at construction time."""
+        smallest = self.config.block_sizes_units[0]
+        return self.capacity_units - (self.capacity_units % smallest)

@@ -1,0 +1,192 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro alloc --policy restricted --workload TS --scale 0.1
+    python -m repro perf  --policy extent --workload TP --scale 0.1
+    python -m repro compare --scale 0.1
+    python -m repro table1
+
+Exit status is 0 on success; configuration errors print to stderr and
+exit 2 (argparse semantics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.comparison import figure6
+from .core.configs import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FfsPolicy,
+    FixedPolicy,
+    LogStructuredPolicy,
+    PolicyConfig,
+    RestrictedPolicy,
+    SystemConfig,
+    extent_ranges_for,
+    selected_extent,
+    selected_fixed,
+)
+from .core.experiments import (
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+from .disk.geometry import WREN_IV
+from .report.figures import GroupedBarChart
+from .report.summary import render_performance_summary
+from .report.tables import Table
+from .units import MIB
+
+POLICY_NAMES = ("buddy", "restricted", "extent", "fixed", "lfs", "ffs")
+
+
+def make_policy(name: str, workload: str, args: argparse.Namespace) -> PolicyConfig:
+    """Build a policy from CLI arguments (workload-aware defaults)."""
+    if name == "buddy":
+        return BuddyPolicy()
+    if name == "restricted":
+        return RestrictedPolicy(
+            grow_factor=args.grow_factor,
+            clustered=not args.unclustered,
+        )
+    if name == "extent":
+        ranges = extent_ranges_for(workload, args.extent_ranges)
+        return ExtentPolicy(range_means=ranges, fit=args.fit)
+    if name == "fixed":
+        return selected_fixed(workload)
+    if name == "lfs":
+        return LogStructuredPolicy()
+    if name == "ffs":
+        return FfsPolicy()
+    raise argparse.ArgumentTypeError(f"unknown policy {name!r}")
+
+
+def cmd_alloc(args: argparse.Namespace) -> int:
+    system = SystemConfig(scale=args.scale)
+    policy = make_policy(args.policy, args.workload, args)
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed
+    )
+    result = run_allocation_experiment(config)
+    frag = result.fragmentation
+    table = Table(["Metric", "Value"], title=f"Allocation test: {config.describe()}")
+    table.add_row(["Internal fragmentation", f"{frag.internal_percent:.1f}%"])
+    table.add_row(["External fragmentation", f"{frag.external_percent:.1f}%"])
+    table.add_row(["Churn operations", result.operations])
+    table.add_row(["Files at measurement", result.file_count])
+    table.add_row(["Avg extents per file", f"{result.average_extents_per_file:.1f}"])
+    table.add_row(["Disk filled", "yes" if result.filled else "no (steady state)"])
+    print(table.render())
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    system = SystemConfig(scale=args.scale)
+    policy = make_policy(args.policy, args.workload, args)
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed
+    )
+    result = run_performance_experiment(
+        config, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
+    )
+    print(render_performance_summary(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    system = SystemConfig(scale=args.scale)
+    cells = figure6(
+        system, seed=args.seed, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
+    )
+    sequential = GroupedBarChart(
+        "Sequential performance (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    application = GroupedBarChart(
+        "Application performance (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    for cell in cells:
+        sequential.add(cell.workload, cell.policy_label, cell.sequential_percent)
+        application.add(cell.workload, cell.policy_label, cell.application_percent)
+    print(sequential.render())
+    print()
+    print(application.render())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    system = SystemConfig()
+    table = Table(["Parameter", "Value"], title="Table 1: the simulated disk system")
+    table.add_row(["Drive", WREN_IV.name])
+    table.add_row(["Disks", system.n_disks])
+    table.add_row(["Capacity", f"{system.capacity_bytes / 1e9:.2f} GB"])
+    table.add_row(
+        [
+            "Max sustained throughput",
+            f"{system.n_disks * WREN_IV.sustained_bytes_per_ms * 1000 / MIB:.2f} MiB/s",
+        ]
+    )
+    table.add_row(["Platters", WREN_IV.platters])
+    table.add_row(["Cylinders", WREN_IV.cylinders])
+    table.add_row(["Track", f"{WREN_IV.track_bytes} bytes"])
+    table.add_row(["Single-track seek", f"{WREN_IV.single_track_seek_ms} ms"])
+    table.add_row(["Incremental seek", f"{WREN_IV.incremental_seek_ms} ms"])
+    table.add_row(["Rotation", f"{WREN_IV.rotation_ms} ms"])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Read Optimized File System Designs — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, with_policy: bool = True) -> None:
+        p.add_argument("--scale", type=float, default=0.1,
+                       help="disk scale factor (1.0 = the paper's 2.8G)")
+        p.add_argument("--seed", type=int, default=1991)
+        if with_policy:
+            p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
+            p.add_argument("--workload", choices=("TS", "TP", "SC"), default="SC")
+            p.add_argument("--grow-factor", type=int, default=1,
+                           help="restricted buddy grow factor")
+            p.add_argument("--unclustered", action="store_true",
+                           help="disable restricted-buddy region clustering")
+            p.add_argument("--extent-ranges", type=int, default=3,
+                           choices=range(1, 6), help="extent range count")
+            p.add_argument("--fit", choices=("first", "best"), default="first")
+
+    alloc = sub.add_parser("alloc", help="run the allocation (fragmentation) test")
+    add_common(alloc)
+    alloc.set_defaults(func=cmd_alloc)
+
+    perf = sub.add_parser("perf", help="run the application + sequential tests")
+    add_common(perf)
+    perf.add_argument("--cap-ms", type=float, default=60_000.0,
+                      help="simulated-time cap per phase")
+    perf.set_defaults(func=cmd_perf)
+
+    compare = sub.add_parser("compare", help="Figure 6: four policies, three workloads")
+    add_common(compare, with_policy=False)
+    compare.add_argument("--cap-ms", type=float, default=40_000.0)
+    compare.set_defaults(func=cmd_compare)
+
+    table1 = sub.add_parser("table1", help="print the simulated disk system")
+    table1.set_defaults(func=cmd_table1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Head-to-head runs: Table 3 (buddy) and Figure 6 (all four policies).
+
+Table 3 reports the buddy policy's fragmentation and throughput on each
+workload.  Figure 6 compares the §5 *selected* configurations — buddy,
+restricted (5 sizes, grow 1, clustered), extent (first-fit, 3 ranges), and
+the fixed-block baseline (4K for TS, 16K for TP/SC) — on sequential (6a)
+and application (6b) performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload.driver import AllocationTestResult
+from .configs import (
+    SELECTED_BUDDY,
+    SELECTED_RESTRICTED,
+    ExperimentConfig,
+    PolicyConfig,
+    SystemConfig,
+    selected_extent,
+    selected_fixed,
+)
+from .experiments import (
+    PerformanceResult,
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+
+WORKLOADS = ("SC", "TP", "TS")
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One workload row of Table 3."""
+
+    workload: str
+    allocation: AllocationTestResult
+    performance: PerformanceResult
+
+    @property
+    def internal_percent(self) -> float:
+        return self.allocation.fragmentation.internal_percent
+
+    @property
+    def external_percent(self) -> float:
+        return self.allocation.fragmentation.external_percent
+
+    @property
+    def application_percent(self) -> float:
+        return self.performance.application.percent
+
+    @property
+    def sequential_percent(self) -> float:
+        return self.performance.sequential.percent
+
+
+def table3_buddy(
+    system: SystemConfig,
+    seed: int = 1991,
+    app_cap_ms: float = 300_000.0,
+    seq_cap_ms: float = 300_000.0,
+    fill_fraction: float | None = None,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> list[Table3Row]:
+    """Run the buddy policy through both §3 tests on every workload."""
+    rows = []
+    for workload in workloads:
+        config = ExperimentConfig(
+            policy=SELECTED_BUDDY, workload=workload, system=system, seed=seed
+        )
+        allocation = run_allocation_experiment(config, fill_fraction=fill_fraction)
+        performance = run_performance_experiment(
+            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+        )
+        rows.append(Table3Row(workload, allocation, performance))
+    return rows
+
+
+def selected_policies(workload: str) -> list[PolicyConfig]:
+    """The four §5 contenders for a workload, in the figure's order."""
+    return [
+        SELECTED_BUDDY,
+        SELECTED_RESTRICTED,
+        selected_extent(workload),
+        selected_fixed(workload),
+    ]
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One (policy, workload) bar of Figure 6."""
+
+    workload: str
+    policy_label: str
+    performance: PerformanceResult
+
+    @property
+    def sequential_percent(self) -> float:
+        return self.performance.sequential.percent
+
+    @property
+    def application_percent(self) -> float:
+        return self.performance.application.percent
+
+
+def figure6(
+    system: SystemConfig,
+    seed: int = 1991,
+    app_cap_ms: float = 300_000.0,
+    seq_cap_ms: float = 300_000.0,
+    workloads: tuple[str, ...] = WORKLOADS,
+) -> list[ComparisonCell]:
+    """Run the four selected policies on every workload."""
+    cells = []
+    for workload in workloads:
+        for policy in selected_policies(workload):
+            config = ExperimentConfig(
+                policy=policy, workload=workload, system=system, seed=seed
+            )
+            result = run_performance_experiment(
+                config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+            )
+            cells.append(ComparisonCell(workload, policy.label, result))
+    return cells

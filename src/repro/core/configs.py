@@ -1,0 +1,306 @@
+"""Canonical configurations: the disk system of Table 1 and the policy
+configurations swept by Figures 1–6.
+
+Everything an experiment needs to be reconstructed lives here:
+:class:`SystemConfig` (the disk array), the four :class:`PolicyConfig`
+builders, the restricted-buddy ladders, and the per-workload extent-range
+tables quoted verbatim from §4.3.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..alloc.base import Allocator
+from ..alloc.buddy import BinaryBuddyAllocator
+from ..alloc.extent import ExtentAllocator, ExtentSizeConfig, FitPolicy
+from ..alloc.fixed import FixedBlockAllocator
+from ..alloc.ffs import FfsAllocator
+from ..alloc.logstructured import LogStructuredAllocator
+from ..alloc.restricted import (
+    RestrictedBuddyAllocator,
+    RestrictedBuddyConfig,
+    ladder_from_sizes,
+)
+from ..disk.array import StripedArray
+from ..disk.geometry import WREN_IV, DiskGeometry
+from ..errors import ConfigurationError
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStream
+from ..units import KIB, parse_size
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The disk system: Table 1's eight Wren IVs unless overridden.
+
+    Attributes:
+        scale: capacity scale factor (cylinder count).  1.0 is the paper's
+            2.8 G system; tests and quick benches shrink it.  Timing
+            parameters never change with scale.
+        stripe_unit: bytes per disk before striping moves on — one track
+            by default, the [STON89] choice.
+        disk_unit: the minimum transfer unit and the allocators' address
+            granularity: "the smaller of the smallest block size supported
+            by the file system and the stripe size" — 1K here.
+    """
+
+    geometry: DiskGeometry = WREN_IV
+    n_disks: int = 8
+    stripe_unit: str | int = 24 * KIB
+    disk_unit: str | int = 1 * KIB
+    scale: float = 1.0
+    queue_discipline: str = "fcfs"  # or "elevator" (extension)
+
+    @property
+    def stripe_unit_bytes(self) -> int:
+        return parse_size(self.stripe_unit)
+
+    @property
+    def disk_unit_bytes(self) -> int:
+        return parse_size(self.disk_unit)
+
+    def scaled_geometry(self) -> DiskGeometry:
+        """The per-drive geometry at this config's scale."""
+        return self.geometry if self.scale == 1.0 else self.geometry.scaled(self.scale)
+
+    def build_array(self, sim: Simulator) -> StripedArray:
+        """Construct the striped array for a simulation run."""
+        return StripedArray(
+            sim,
+            self.scaled_geometry(),
+            self.n_disks,
+            self.stripe_unit_bytes,
+            self.disk_unit_bytes,
+            queue_discipline=self.queue_discipline,
+        )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Array capacity at this scale (whole stripes only)."""
+        per_drive = self.scaled_geometry().capacity_bytes
+        per_drive -= per_drive % self.stripe_unit_bytes
+        return per_drive * self.n_disks
+
+
+#: The paper's configuration (full scale).
+PAPER_SYSTEM = SystemConfig()
+
+
+# ---------------------------------------------------------------------------
+# Policy configurations
+# ---------------------------------------------------------------------------
+
+
+class PolicyConfig(abc.ABC):
+    """A buildable, labelled allocation-policy configuration."""
+
+    @abc.abstractmethod
+    def build(
+        self, capacity_units: int, disk_unit_bytes: int, rng: RandomStream
+    ) -> Allocator:
+        """Instantiate the allocator for a given address space."""
+
+    @property
+    @abc.abstractmethod
+    def label(self) -> str:
+        """Human-readable configuration label for reports."""
+
+
+@dataclass(frozen=True)
+class BuddyPolicy(PolicyConfig):
+    """§4.1: Koch's binary buddy (no nightly reallocator)."""
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        return BinaryBuddyAllocator(capacity_units, rng)
+
+    @property
+    def label(self) -> str:
+        return "buddy"
+
+
+@dataclass(frozen=True)
+class RestrictedPolicy(PolicyConfig):
+    """§4.2: the restricted buddy system."""
+
+    block_sizes: tuple[str, ...] = ("1K", "8K", "64K", "1M", "16M")
+    grow_factor: int = 1
+    clustered: bool = True
+    region_size: str | int = "32M"
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        ladder = ladder_from_sizes(list(self.block_sizes), disk_unit_bytes)
+        region_units = parse_size(self.region_size) // disk_unit_bytes
+        config = RestrictedBuddyConfig(
+            block_sizes_units=ladder,
+            grow_factor=self.grow_factor,
+            clustered=self.clustered,
+            region_units=region_units,
+        )
+        return RestrictedBuddyAllocator(capacity_units, config, rng)
+
+    @property
+    def label(self) -> str:
+        mode = "clustered" if self.clustered else "unclustered"
+        return (
+            f"restricted[{len(self.block_sizes)} sizes, g={self.grow_factor}, "
+            f"{mode}]"
+        )
+
+
+@dataclass(frozen=True)
+class ExtentPolicy(PolicyConfig):
+    """§4.3: extent-based allocation."""
+
+    range_means: tuple[str, ...] = ("512K", "1M", "16M")
+    fit: str = "first"  # "first" or "best"
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        means = tuple(
+            sorted(parse_size(m) // disk_unit_bytes for m in self.range_means)
+        )
+        if any(m == 0 for m in means):
+            raise ConfigurationError("extent range below one disk unit")
+        fit = FitPolicy.FIRST_FIT if self.fit == "first" else FitPolicy.BEST_FIT
+        return ExtentAllocator(
+            capacity_units, ExtentSizeConfig(range_means_units=means), fit, rng
+        )
+
+    @property
+    def label(self) -> str:
+        return f"extent[{len(self.range_means)} ranges, {self.fit}-fit]"
+
+
+@dataclass(frozen=True)
+class FixedPolicy(PolicyConfig):
+    """§5 baseline: fixed block size, no contiguity or striping bias.
+
+    ``aged`` (default True) scrambles the initial free list, modelling the
+    long-lived system the paper compares against rather than a fresh mkfs.
+    """
+
+    block_size: str | int = "4K"
+    aged: bool = True
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        block_units = parse_size(self.block_size) // disk_unit_bytes
+        return FixedBlockAllocator(capacity_units, block_units, rng, aged=self.aged)
+
+    @property
+    def label(self) -> str:
+        return f"fixed[{self.block_size}]"
+
+
+@dataclass(frozen=True)
+class FfsPolicy(PolicyConfig):
+    """Extension (paper §1): BSD FFS-style blocks + fragments."""
+
+    block_size: str | int = "8K"
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        block_units = parse_size(self.block_size) // disk_unit_bytes
+        return FfsAllocator(capacity_units, block_units, rng=rng)
+
+    @property
+    def label(self) -> str:
+        return f"ffs[{self.block_size} blocks]"
+
+
+@dataclass(frozen=True)
+class LogStructuredPolicy(PolicyConfig):
+    """Extension (paper §6): threaded-log, write-optimized allocation."""
+
+    def build(self, capacity_units, disk_unit_bytes, rng):
+        return LogStructuredAllocator(capacity_units, rng)
+
+    @property
+    def label(self) -> str:
+        return "log-structured"
+
+
+# ---------------------------------------------------------------------------
+# The paper's sweep tables
+# ---------------------------------------------------------------------------
+
+#: §4.2: "We consider four different block size configurations."
+RESTRICTED_LADDERS: dict[int, tuple[str, ...]] = {
+    2: ("1K", "8K"),
+    3: ("1K", "8K", "64K"),
+    4: ("1K", "8K", "64K", "1M"),
+    5: ("1K", "8K", "64K", "1M", "16M"),
+}
+
+#: §4.2 sweep axes: grow factors and clustering.
+RESTRICTED_GROW_FACTORS = (1, 2)
+RESTRICTED_CLUSTERING = (True, False)
+
+#: §4.3's extent-range table for the TS workload.
+EXTENT_RANGES_TS: dict[int, tuple[str, ...]] = {
+    1: ("4K",),
+    2: ("1K", "8K"),
+    3: ("1K", "8K", "1M"),
+    4: ("1K", "4K", "8K", "1M"),
+    5: ("1K", "4K", "8K", "16K", "1M"),
+}
+
+#: §4.3's extent-range table for TP and SC ("10" read as 10M).
+EXTENT_RANGES_TP_SC: dict[int, tuple[str, ...]] = {
+    1: ("512K",),
+    2: ("512K", "16M"),
+    3: ("512K", "1M", "16M"),
+    4: ("512K", "1M", "10M", "16M"),
+    5: ("10K", "512K", "1M", "10M", "16M"),
+}
+
+
+def extent_ranges_for(workload: str, n_ranges: int) -> tuple[str, ...]:
+    """The paper's extent-range means for a workload and range count."""
+    table = EXTENT_RANGES_TS if workload.upper() == "TS" else EXTENT_RANGES_TP_SC
+    if n_ranges not in table:
+        raise ConfigurationError(f"no {n_ranges}-range config for {workload}")
+    return table[n_ranges]
+
+
+# ---------------------------------------------------------------------------
+# §5's selected head-to-head configurations (Figure 6)
+# ---------------------------------------------------------------------------
+
+#: "we will select a clustered configuration ... grow factor of 1 ...
+#: the 5 block size configuration (1K, 8K, 64K, 1M, 16M)".
+SELECTED_RESTRICTED = RestrictedPolicy(
+    block_sizes=RESTRICTED_LADDERS[5], grow_factor=1, clustered=True
+)
+
+#: "we select the first fit allocation policy ... the 3 range sizes".
+def selected_extent(workload: str) -> ExtentPolicy:
+    """The §5 extent configuration for a given workload."""
+    return ExtentPolicy(range_means=extent_ranges_for(workload, 3), fit="first")
+
+
+#: "The 4K system is compared with the timesharing workload while the 16K
+#: is compared for the transaction processing and supercomputer workloads."
+def selected_fixed(workload: str) -> FixedPolicy:
+    """The §5 fixed-block baseline for a given workload."""
+    return FixedPolicy(block_size="4K" if workload.upper() == "TS" else "16K")
+
+
+SELECTED_BUDDY = BuddyPolicy()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything identifying one experiment run."""
+
+    policy: PolicyConfig
+    workload: str  # "TS" | "TP" | "SC"
+    system: SystemConfig = field(default_factory=SystemConfig)
+    seed: int = 1991
+    fill_fraction: float = 0.91
+
+    def describe(self) -> str:
+        """One-line run description for logs and reports."""
+        return (
+            f"{self.policy.label} / {self.workload} @ scale "
+            f"{self.system.scale:g}, seed {self.seed}"
+        )

@@ -1,0 +1,209 @@
+"""Parameter sweeps behind Figures 1, 2, 4, and 5.
+
+Figures 1 and 2 sweep the restricted buddy policy over {2, 3, 4, 5 block
+sizes} × {grow factor 1, 2} × {clustered, unclustered} for each workload;
+Figures 4 and 5 sweep the extent policy over {first fit, best fit} ×
+{1..5 extent ranges}.  Each sweep point runs the §3 allocation test
+(fragmentation) or performance test (application + sequential) and the
+results render as the paper's grouped bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload.driver import AllocationTestResult
+from .configs import (
+    EXTENT_RANGES_TP_SC,
+    EXTENT_RANGES_TS,
+    RESTRICTED_CLUSTERING,
+    RESTRICTED_GROW_FACTORS,
+    RESTRICTED_LADDERS,
+    ExperimentConfig,
+    ExtentPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+    extent_ranges_for,
+)
+from .experiments import (
+    PerformanceResult,
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+
+
+@dataclass(frozen=True)
+class RestrictedSweepPoint:
+    """One (configuration, workload) cell of Figures 1/2."""
+
+    workload: str
+    n_sizes: int
+    grow_factor: int
+    clustered: bool
+    allocation: AllocationTestResult | None = None
+    performance: PerformanceResult | None = None
+
+    @property
+    def series_label(self) -> str:
+        """Legend label matching the paper's four bars per group."""
+        mode = "clustered" if self.clustered else "unclustered"
+        return f"g={self.grow_factor} {mode}"
+
+    @property
+    def group_label(self) -> str:
+        """X-axis label: number of block sizes."""
+        return f"{self.n_sizes} sizes"
+
+
+@dataclass(frozen=True)
+class ExtentSweepPoint:
+    """One (configuration, workload) cell of Figures 4/5 and Table 4."""
+
+    workload: str
+    n_ranges: int
+    fit: str
+    allocation: AllocationTestResult | None = None
+    performance: PerformanceResult | None = None
+
+    @property
+    def series_label(self) -> str:
+        return f"{self.fit}-fit"
+
+    @property
+    def group_label(self) -> str:
+        return f"{self.n_ranges} range{'s' if self.n_ranges > 1 else ''}"
+
+
+def restricted_configurations(
+    ladders: dict[int, tuple[str, ...]] | None = None,
+    grow_factors: tuple[int, ...] = RESTRICTED_GROW_FACTORS,
+    clusterings: tuple[bool, ...] = RESTRICTED_CLUSTERING,
+) -> list[RestrictedPolicy]:
+    """The 16 restricted-buddy configurations of §4.2, in figure order."""
+    ladders = ladders or RESTRICTED_LADDERS
+    policies = []
+    for n_sizes in sorted(ladders):
+        for clustered in sorted(clusterings, reverse=True):  # clustered first
+            for grow in grow_factors:
+                policies.append(
+                    RestrictedPolicy(
+                        block_sizes=ladders[n_sizes],
+                        grow_factor=grow,
+                        clustered=clustered,
+                    )
+                )
+    return policies
+
+
+def sweep_restricted_fragmentation(
+    workload: str,
+    system: SystemConfig,
+    seed: int = 1991,
+    fill_fraction: float | None = None,
+    ladders: dict[int, tuple[str, ...]] | None = None,
+) -> list[RestrictedSweepPoint]:
+    """Figure 1: allocation tests over the restricted configurations."""
+    points = []
+    for policy in restricted_configurations(ladders):
+        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
+        result = run_allocation_experiment(config, fill_fraction=fill_fraction)
+        points.append(
+            RestrictedSweepPoint(
+                workload=workload,
+                n_sizes=len(policy.block_sizes),
+                grow_factor=policy.grow_factor,
+                clustered=policy.clustered,
+                allocation=result,
+            )
+        )
+    return points
+
+
+def sweep_restricted_performance(
+    workload: str,
+    system: SystemConfig,
+    seed: int = 1991,
+    app_cap_ms: float = 300_000.0,
+    seq_cap_ms: float = 300_000.0,
+    ladders: dict[int, tuple[str, ...]] | None = None,
+) -> list[RestrictedSweepPoint]:
+    """Figure 2: performance tests over the restricted configurations."""
+    points = []
+    for policy in restricted_configurations(ladders):
+        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
+        result = run_performance_experiment(
+            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+        )
+        points.append(
+            RestrictedSweepPoint(
+                workload=workload,
+                n_sizes=len(policy.block_sizes),
+                grow_factor=policy.grow_factor,
+                clustered=policy.clustered,
+                performance=result,
+            )
+        )
+    return points
+
+
+def extent_configurations(
+    workload: str, fits: tuple[str, ...] = ("first", "best")
+) -> list[ExtentPolicy]:
+    """The extent-policy configurations of §4.3 for one workload."""
+    table = EXTENT_RANGES_TS if workload.upper() == "TS" else EXTENT_RANGES_TP_SC
+    policies = []
+    for n_ranges in sorted(table):
+        for fit in fits:
+            policies.append(
+                ExtentPolicy(range_means=extent_ranges_for(workload, n_ranges), fit=fit)
+            )
+    return policies
+
+
+def sweep_extent_fragmentation(
+    workload: str,
+    system: SystemConfig,
+    seed: int = 1991,
+    fill_fraction: float | None = None,
+    fits: tuple[str, ...] = ("first", "best"),
+) -> list[ExtentSweepPoint]:
+    """Figure 4 (and Table 4): allocation tests over the extent configs."""
+    points = []
+    for policy in extent_configurations(workload, fits):
+        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
+        result = run_allocation_experiment(config, fill_fraction=fill_fraction)
+        points.append(
+            ExtentSweepPoint(
+                workload=workload,
+                n_ranges=len(policy.range_means),
+                fit=policy.fit,
+                allocation=result,
+            )
+        )
+    return points
+
+
+def sweep_extent_performance(
+    workload: str,
+    system: SystemConfig,
+    seed: int = 1991,
+    app_cap_ms: float = 300_000.0,
+    seq_cap_ms: float = 300_000.0,
+    fits: tuple[str, ...] = ("first", "best"),
+) -> list[ExtentSweepPoint]:
+    """Figure 5: performance tests over the extent configurations."""
+    points = []
+    for policy in extent_configurations(workload, fits):
+        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
+        result = run_performance_experiment(
+            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+        )
+        points.append(
+            ExtentSweepPoint(
+                workload=workload,
+                n_ranges=len(policy.range_means),
+                fit=policy.fit,
+                performance=result,
+            )
+        )
+    return points

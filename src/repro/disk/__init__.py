@@ -1,0 +1,27 @@
+"""The disk system: drive timing, queueing, and array organizations."""
+
+from .array import ConcatArray, DiskSystem, StripedArray
+from .drive import DiskDrive
+from .geometry import TINY_DISK, WREN_IV, DiskGeometry, paper_array_capacity_bytes
+from .queue import QueuedDrive
+from .raid import MirroredArray, ParityStripedArray, Raid5Array
+from .request import ZERO_BREAKDOWN, DiskRequest, IoKind, ServiceBreakdown
+
+__all__ = [
+    "DiskGeometry",
+    "WREN_IV",
+    "TINY_DISK",
+    "paper_array_capacity_bytes",
+    "DiskDrive",
+    "QueuedDrive",
+    "DiskRequest",
+    "IoKind",
+    "ServiceBreakdown",
+    "ZERO_BREAKDOWN",
+    "DiskSystem",
+    "StripedArray",
+    "ConcatArray",
+    "MirroredArray",
+    "Raid5Array",
+    "ParityStripedArray",
+]

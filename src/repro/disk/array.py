@@ -1,0 +1,235 @@
+"""Disk organizations: the linear address space the allocators see.
+
+"The disk system is designed to allow multiple heterogeneous devices"
+configured as an array, mirrored pair, RAID, or parity-striped set.  This
+module holds the common interface plus the two parity-free organizations:
+
+* :class:`StripedArray` — the configuration behind every result in the
+  paper: data striped round-robin across N identical drives in *stripe
+  unit* chunks; the allocators address the array in *disk units*.
+* :class:`ConcatArray` — simple concatenation (files live on one disk),
+  the data layout underneath Gray/Walker parity striping.
+
+Two parameters characterize a striped layout, exactly as in §2.1:
+
+* **stripe unit** — bytes allocated on one disk before moving to the next;
+  must be at least the sector size of every disk.
+* **disk unit** — the minimum unit of transfer between disk and memory:
+  the smaller of the smallest file-system block size and the stripe size.
+  Disks are *addressed* in disk units.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..errors import ConfigurationError, InvalidRequestError
+from ..sim.engine import AllOf, Simulator, Waitable
+from .geometry import DiskGeometry
+from .queue import QueuedDrive
+from .request import DiskRequest, IoKind
+
+
+class DiskSystem(abc.ABC):
+    """Common interface of every disk organization.
+
+    A disk system exposes a linear address space measured in disk units;
+    :meth:`transfer` maps a linear span onto per-drive requests and returns
+    a waitable that succeeds when the whole span has moved.
+    """
+
+    def __init__(self, sim: Simulator, disk_unit_bytes: int) -> None:
+        if disk_unit_bytes <= 0:
+            raise ConfigurationError("disk unit must be positive")
+        self.sim = sim
+        self.disk_unit_bytes = disk_unit_bytes
+        self.drives: list[QueuedDrive] = []
+        #: Optional ThroughputMeter credited as each drive request completes.
+        self.meter = None
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def capacity_bytes(self) -> int:
+        """Usable (data) capacity in bytes."""
+
+    @property
+    def capacity_units(self) -> int:
+        """Usable capacity in disk units (the allocators' address space)."""
+        return self.capacity_bytes // self.disk_unit_bytes
+
+    @property
+    def max_bandwidth_bytes_per_ms(self) -> float:
+        """Peak sustained sequential bandwidth of the whole system.
+
+        All throughput results are normalized against this (the paper's
+        "percent of maximum available capacity").
+        """
+        return sum(d.geometry.sustained_bytes_per_ms for d in self.drives)
+
+    # -- I/O -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        """Move ``n_units`` disk units starting at linear ``start_unit``."""
+
+    def _check_span(self, start_unit: int, n_units: int) -> None:
+        if n_units <= 0:
+            raise InvalidRequestError(f"non-positive transfer: {n_units}")
+        if start_unit < 0 or start_unit + n_units > self.capacity_units:
+            raise InvalidRequestError(
+                f"transfer [{start_unit}, {start_unit + n_units}) outside "
+                f"capacity {self.capacity_units} units"
+            )
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def total_bytes_moved(self) -> int:
+        """Bytes transferred across all drives since construction."""
+        return sum(d.bytes_moved for d in self.drives)
+
+    def busy_fraction(self, elapsed_ms: float) -> float:
+        """Mean per-drive busy fraction over ``elapsed_ms``."""
+        if not self.drives or elapsed_ms <= 0:
+            return 0.0
+        return sum(d.utilization(elapsed_ms) for d in self.drives) / len(self.drives)
+
+
+def _merge_runs(runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge byte runs that are contiguous on the same drive."""
+    merged: list[tuple[int, int]] = []
+    for start, length in runs:
+        if merged and merged[-1][0] + merged[-1][1] == start:
+            merged[-1] = (merged[-1][0], merged[-1][1] + length)
+        else:
+            merged.append((start, length))
+    return merged
+
+
+class StripedArray(DiskSystem):
+    """Round-robin striping across N identical drives.
+
+    Linear stripe ``s`` lives on drive ``s % N`` at per-drive offset
+    ``(s // N) * stripe_unit``, so a span of at least N consecutive stripes
+    touches every drive with one contiguous per-drive run — the property
+    the read-optimized policies exploit to "force striping" and reach the
+    array's aggregate bandwidth with a single logical request.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        n_disks: int,
+        stripe_unit_bytes: int,
+        disk_unit_bytes: int,
+        queue_discipline: str = "fcfs",
+    ) -> None:
+        super().__init__(sim, disk_unit_bytes)
+        if n_disks <= 0:
+            raise ConfigurationError("need at least one disk")
+        if stripe_unit_bytes <= 0 or stripe_unit_bytes % disk_unit_bytes:
+            raise ConfigurationError(
+                "stripe unit must be a positive multiple of the disk unit"
+            )
+        per_drive = geometry.capacity_bytes
+        if per_drive % stripe_unit_bytes:
+            # Round each drive down to whole stripes; the sliver is unusable.
+            per_drive -= per_drive % stripe_unit_bytes
+        self.geometry = geometry
+        self.n_disks = n_disks
+        self.stripe_unit_bytes = stripe_unit_bytes
+        self._per_drive_bytes = per_drive
+        self.drives = [
+            QueuedDrive(sim, geometry, owner=self, discipline=queue_discipline)
+            for _ in range(n_disks)
+        ]
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._per_drive_bytes * self.n_disks
+
+    def locate_unit(self, unit: int) -> tuple[int, int]:
+        """Map a linear disk-unit address to ``(drive index, drive byte)``."""
+        byte = unit * self.disk_unit_bytes
+        stripe, offset = divmod(byte, self.stripe_unit_bytes)
+        drive = stripe % self.n_disks
+        row = stripe // self.n_disks
+        return drive, row * self.stripe_unit_bytes + offset
+
+    def _per_drive_runs(
+        self, start_unit: int, n_units: int
+    ) -> list[list[tuple[int, int]]]:
+        """Split a linear span into contiguous per-drive byte runs."""
+        runs: list[list[tuple[int, int]]] = [[] for _ in range(self.n_disks)]
+        byte = start_unit * self.disk_unit_bytes
+        remaining = n_units * self.disk_unit_bytes
+        su = self.stripe_unit_bytes
+        while remaining > 0:
+            stripe, offset = divmod(byte, su)
+            chunk = min(su - offset, remaining)
+            drive = stripe % self.n_disks
+            row = stripe // self.n_disks
+            runs[drive].append((row * su + offset, chunk))
+            byte += chunk
+            remaining -= chunk
+        return [_merge_runs(r) for r in runs]
+
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        self._check_span(start_unit, n_units)
+        completions: list[Waitable] = []
+        for drive_index, runs in enumerate(self._per_drive_runs(start_unit, n_units)):
+            for start_byte, length in runs:
+                request = DiskRequest(kind, start_byte, length)
+                completions.append(self.drives[drive_index].submit(request))
+        return AllOf(completions)
+
+
+class ConcatArray(DiskSystem):
+    """Concatenation (JBOD): linear space is disk 0, then disk 1, ...
+
+    Used by the parity-striped organization, where "files are allocated to
+    single disks" and only the parity is spread.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        n_disks: int,
+        disk_unit_bytes: int,
+    ) -> None:
+        super().__init__(sim, disk_unit_bytes)
+        if n_disks <= 0:
+            raise ConfigurationError("need at least one disk")
+        per_drive = geometry.capacity_bytes
+        per_drive -= per_drive % disk_unit_bytes
+        self.geometry = geometry
+        self.n_disks = n_disks
+        self._per_drive_bytes = per_drive
+        self.drives = [QueuedDrive(sim, geometry, owner=self) for _ in range(n_disks)]
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._per_drive_bytes * self.n_disks
+
+    def locate_unit(self, unit: int) -> tuple[int, int]:
+        """Map a linear disk-unit address to ``(drive index, drive byte)``."""
+        byte = unit * self.disk_unit_bytes
+        return byte // self._per_drive_bytes, byte % self._per_drive_bytes
+
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        self._check_span(start_unit, n_units)
+        byte = start_unit * self.disk_unit_bytes
+        remaining = n_units * self.disk_unit_bytes
+        completions: list[Waitable] = []
+        while remaining > 0:
+            drive_index, drive_byte = byte // self._per_drive_bytes, byte % self._per_drive_bytes
+            chunk = min(self._per_drive_bytes - drive_byte, remaining)
+            request = DiskRequest(kind, drive_byte, chunk)
+            completions.append(self.drives[drive_index].submit(request))
+            byte += chunk
+            remaining -= chunk
+        return AllOf(completions)

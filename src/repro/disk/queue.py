@@ -1,0 +1,146 @@
+"""FCFS request queue in front of each drive.
+
+The paper does not study queueing disciplines (no policy under evaluation
+touches scheduling), so requests are served first-come first-served — the
+1991-era default.  Each drive is busy with exactly one request at a time;
+submission returns a :class:`~repro.sim.engine.Waitable` that succeeds with
+the request's :class:`~repro.disk.request.ServiceBreakdown` when the
+transfer completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import SimulationError
+
+from ..sim.engine import Simulator, Waitable
+from ..sim.stats import Tally
+from .drive import DiskDrive
+from .geometry import DiskGeometry
+from .request import DiskRequest, ServiceBreakdown
+
+
+class QueuedDrive:
+    """One drive plus its FCFS queue, wired into the event engine.
+
+    Args:
+        owner: the disk system this drive belongs to; when the owner has a
+            ``meter``, every completed request is credited to it over its
+            service span.  Metering at the drive level counts the bytes the
+            disk system actually moved, request by request, so long
+            logical transfers credit every interval they occupy.
+        discipline: ``"fcfs"`` (the 1991 default used for every paper
+            result) or ``"elevator"`` (SCAN: serve the nearest request in
+            the current sweep direction — an extension for studying
+            scheduling sensitivity).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        owner: object | None = None,
+        discipline: str = "fcfs",
+    ) -> None:
+        if discipline not in ("fcfs", "elevator"):
+            raise SimulationError(f"unknown queue discipline {discipline!r}")
+        self.sim = sim
+        self.owner = owner
+        self.discipline = discipline
+        self.drive = DiskDrive(geometry)
+        self._direction = 1  # elevator sweep direction
+        self._queue: deque[tuple[DiskRequest, Waitable, float]] = deque()
+        self._busy = False
+        self.busy_ms = 0.0
+        self.bytes_moved = 0
+        self.requests_served = 0
+        self.latency = Tally()
+        self.queue_wait = Tally()
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """The drive's geometry."""
+        return self.drive.geometry
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is in service."""
+        return self._busy
+
+    def submit(self, request: DiskRequest) -> Waitable:
+        """Enqueue a request; returns its completion waitable."""
+        completion = Waitable()
+        self._queue.append((request, completion, self.sim.now))
+        if not self._busy:
+            self._start_next(self.sim)
+        return completion
+
+    # -- internals ----------------------------------------------------------
+
+    def _start_next(self, sim: Simulator) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        if self.discipline == "elevator" and len(self._queue) > 1:
+            request, completion, submitted_at = self._pop_elevator()
+        else:
+            request, completion, submitted_at = self._queue.popleft()
+        self.queue_wait.add(sim.now - submitted_at)
+        breakdown = self.drive.service(request, sim.now)
+        self.busy_ms += breakdown.total_ms
+        self.bytes_moved += request.n_bytes
+        self.requests_served += 1
+        self.latency.add(breakdown.total_ms)
+        sim.schedule(
+            breakdown.total_ms, self._complete, completion, breakdown, request.n_bytes
+        )
+
+    def _complete(
+        self,
+        sim: Simulator,
+        completion: Waitable,
+        breakdown: ServiceBreakdown,
+        n_bytes: int,
+    ) -> None:
+        meter = getattr(self.owner, "meter", None)
+        if meter is not None:
+            meter.record_span(sim.now - breakdown.total_ms, sim.now, n_bytes)
+        completion.succeed(sim, breakdown)
+        self._start_next(sim)
+
+    def _pop_elevator(self) -> tuple[DiskRequest, Waitable, float]:
+        """SCAN: nearest request ahead in the sweep direction, else reverse."""
+        head = self.drive.head_cylinder
+
+        def cylinder(entry) -> int:
+            return self.drive.cylinder_of(entry[0].start_byte)
+
+        ahead = [
+            e for e in self._queue
+            if (cylinder(e) - head) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = list(self._queue)
+        chosen = min(ahead, key=lambda e: abs(cylinder(e) - head))
+        self._queue.remove(chosen)
+        return chosen
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of ``elapsed_ms`` the drive spent transferring/seeking."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return self.busy_ms / elapsed_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<QueuedDrive {self.geometry.name} depth={self.queue_depth} "
+            f"busy={self._busy}>"
+        )

@@ -1,0 +1,288 @@
+"""Redundant disk organizations: mirroring, RAID-5, parity striping.
+
+§2.1 lists four configurations the disk system supports.  The paper's
+results "assume no parity information ... and merely stripe the data", but
+the other three organizations are part of the system and drive the
+future-work experiment ("the impact of a RAID in the underlying disk
+system will reduce the small write performance"):
+
+* :class:`MirroredArray` — every write goes to both copies; reads pick the
+  copy with the shorter queue.
+* :class:`Raid5Array` — rotating parity (Patterson et al. 1988); small
+  writes pay the classic read-modify-write (old data + old parity read,
+  then data + parity written), full-stripe writes compute parity for free.
+* :class:`ParityStripedArray` — Gray & Walker 1990: data is *not* striped
+  (files live on single disks, preserving per-disk locality) but each
+  write also updates parity on a rotating partner disk.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..sim.engine import AllOf, Simulator, Waitable
+from .array import ConcatArray, DiskSystem, StripedArray
+from .geometry import DiskGeometry
+from .request import DiskRequest, IoKind
+
+
+class MirroredArray(DiskSystem):
+    """Two identical striped arrays holding the same data.
+
+    Capacity and the allocator-visible address space are one copy's worth.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        n_disks: int,
+        stripe_unit_bytes: int,
+        disk_unit_bytes: int,
+    ) -> None:
+        super().__init__(sim, disk_unit_bytes)
+        self.primary = StripedArray(sim, geometry, n_disks, stripe_unit_bytes, disk_unit_bytes)
+        self.secondary = StripedArray(sim, geometry, n_disks, stripe_unit_bytes, disk_unit_bytes)
+        self.drives = self.primary.drives + self.secondary.drives
+        self._read_toggle = 0
+
+    @property
+    def meter(self):
+        """Throughput meter, shared by both copies' drives."""
+        return self.primary.meter if hasattr(self, "primary") else None
+
+    @meter.setter
+    def meter(self, value) -> None:
+        if hasattr(self, "primary"):
+            self.primary.meter = value
+            self.secondary.meter = value
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.primary.capacity_bytes
+
+    @property
+    def max_bandwidth_bytes_per_ms(self) -> float:
+        """Reads can be served by either copy, so both halves count."""
+        return (
+            self.primary.max_bandwidth_bytes_per_ms
+            + self.secondary.max_bandwidth_bytes_per_ms
+        )
+
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        self._check_span(start_unit, n_units)
+        if kind is IoKind.WRITE:
+            return AllOf(
+                [
+                    self.primary.transfer(kind, start_unit, n_units),
+                    self.secondary.transfer(kind, start_unit, n_units),
+                ]
+            )
+        # Reads alternate between copies; with equal geometry this halves
+        # each copy's read queue without tracking queue depths per span.
+        side = self.primary if self._read_toggle == 0 else self.secondary
+        self._read_toggle ^= 1
+        return side.transfer(kind, start_unit, n_units)
+
+
+class Raid5Array(DiskSystem):
+    """N+1 drives with rotating parity (left-symmetric).
+
+    The data address space is striped over the N data positions of each
+    stripe row; the parity position rotates across drives row by row.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        n_disks: int,
+        stripe_unit_bytes: int,
+        disk_unit_bytes: int,
+    ) -> None:
+        super().__init__(sim, disk_unit_bytes)
+        if n_disks < 3:
+            raise ConfigurationError("RAID-5 needs at least 3 drives")
+        if stripe_unit_bytes % disk_unit_bytes:
+            raise ConfigurationError(
+                "stripe unit must be a multiple of the disk unit"
+            )
+        per_drive = geometry.capacity_bytes
+        per_drive -= per_drive % stripe_unit_bytes
+        self.geometry = geometry
+        self.n_disks = n_disks
+        self.stripe_unit_bytes = stripe_unit_bytes
+        self._per_drive_bytes = per_drive
+        self._rows = per_drive // stripe_unit_bytes
+        from .queue import QueuedDrive  # local import avoids a cycle at module load
+
+        self.drives = [QueuedDrive(sim, geometry, owner=self) for _ in range(n_disks)]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Data capacity: one drive per row is parity."""
+        return self._per_drive_bytes * (self.n_disks - 1)
+
+    @property
+    def max_bandwidth_bytes_per_ms(self) -> float:
+        """Sequential reads use the data drives of each row: N-1 of N."""
+        full = sum(d.geometry.sustained_bytes_per_ms for d in self.drives)
+        return full * (self.n_disks - 1) / self.n_disks
+
+    def locate_unit(self, unit: int) -> tuple[int, int]:
+        """Map a data disk-unit address to ``(drive index, drive byte)``."""
+        byte = unit * self.disk_unit_bytes
+        data_stripe, offset = divmod(byte, self.stripe_unit_bytes)
+        row = data_stripe // (self.n_disks - 1)
+        position = data_stripe % (self.n_disks - 1)
+        parity_drive = row % self.n_disks
+        # Data positions count around the row, skipping the parity drive.
+        drive = position if position < parity_drive else position + 1
+        return drive, row * self.stripe_unit_bytes + offset
+
+    def _parity_drive_of_row(self, row: int) -> int:
+        return row % self.n_disks
+
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        self._check_span(start_unit, n_units)
+        su = self.stripe_unit_bytes
+        byte = start_unit * self.disk_unit_bytes
+        remaining = n_units * self.disk_unit_bytes
+        data_per_row = su * (self.n_disks - 1)
+
+        completions: list[Waitable] = []
+        while remaining > 0:
+            row = byte // data_per_row
+            row_offset = byte % data_per_row
+            chunk = min(data_per_row - row_offset, remaining)
+            completions.extend(self._transfer_in_row(kind, row, row_offset, chunk))
+            byte += chunk
+            remaining -= chunk
+        return AllOf(completions)
+
+    def _transfer_in_row(
+        self, kind: IoKind, row: int, row_offset: int, n_bytes: int
+    ) -> list[Waitable]:
+        """Issue the drive requests for a span within one stripe row."""
+        su = self.stripe_unit_bytes
+        parity = self._parity_drive_of_row(row)
+        row_byte = row * su
+        pieces: list[Waitable] = []
+        full_row_write = kind is IoKind.WRITE and row_offset == 0 and n_bytes == su * (
+            self.n_disks - 1
+        )
+        offset = row_offset
+        remaining = n_bytes
+        while remaining > 0:
+            position, in_unit = divmod(offset, su)
+            drive = position if position < parity else position + 1
+            chunk = min(su - in_unit, remaining)
+            request_start = row_byte + in_unit
+            if kind is IoKind.READ:
+                pieces.append(
+                    self.drives[drive].submit(DiskRequest(kind, request_start, chunk))
+                )
+            elif full_row_write:
+                pieces.append(
+                    self.drives[drive].submit(DiskRequest(kind, request_start, chunk))
+                )
+            else:
+                # Read-modify-write: read old data, read old parity, write
+                # new data, write new parity.  The reads queue first; the
+                # writes land behind them on the same drives, which models
+                # the two serialized rounds of the classic small-write.
+                pieces.append(
+                    self.drives[drive].submit(
+                        DiskRequest(IoKind.READ, request_start, chunk)
+                    )
+                )
+                pieces.append(
+                    self.drives[parity].submit(
+                        DiskRequest(IoKind.READ, request_start, chunk)
+                    )
+                )
+                pieces.append(
+                    self.drives[drive].submit(
+                        DiskRequest(IoKind.WRITE, request_start, chunk)
+                    )
+                )
+                pieces.append(
+                    self.drives[parity].submit(
+                        DiskRequest(IoKind.WRITE, request_start, chunk)
+                    )
+                )
+            offset += chunk
+            remaining -= chunk
+        if full_row_write:
+            # Parity computed in memory, written alongside the data.
+            pieces.append(
+                self.drives[parity].submit(DiskRequest(IoKind.WRITE, row_byte, su))
+            )
+        return pieces
+
+
+class ParityStripedArray(DiskSystem):
+    """Gray & Walker parity striping over a concatenated data layout.
+
+    Data placement is identical to :class:`ConcatArray` (whole files on
+    single disks); each write additionally updates a parity extent on the
+    next drive over, modelled as a read-modify-write pair there.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        geometry: DiskGeometry,
+        n_disks: int,
+        disk_unit_bytes: int,
+    ) -> None:
+        super().__init__(sim, disk_unit_bytes)
+        if n_disks < 2:
+            raise ConfigurationError("parity striping needs at least 2 drives")
+        self._data = ConcatArray(sim, geometry, n_disks, disk_unit_bytes)
+        self.n_disks = n_disks
+        self.drives = self._data.drives
+        # One drive's worth of space across the set is parity.
+        self._data_fraction = (n_disks - 1) / n_disks
+
+    @property
+    def meter(self):
+        """Throughput meter, held by the underlying data layout."""
+        return self._data.meter if hasattr(self, "_data") else None
+
+    @meter.setter
+    def meter(self, value) -> None:
+        if hasattr(self, "_data"):
+            self._data.meter = value
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self._data.capacity_bytes * self._data_fraction)
+
+    @property
+    def max_bandwidth_bytes_per_ms(self) -> float:
+        return (
+            sum(d.geometry.sustained_bytes_per_ms for d in self.drives)
+            * self._data_fraction
+        )
+
+    def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
+        self._check_span(start_unit, n_units)
+        completions = [self._data.transfer(kind, start_unit, n_units)]
+        if kind is IoKind.WRITE:
+            # Parity lives on the neighbouring drive at the mirrored offset.
+            drive_index, drive_byte = self._data.locate_unit(start_unit)
+            parity_drive = (drive_index + 1) % self.n_disks
+            per_drive = self._data._per_drive_bytes
+            n_bytes = min(n_units * self.disk_unit_bytes, per_drive)
+            parity_byte = max(0, min(drive_byte, per_drive - n_bytes))
+            completions.append(
+                self.drives[parity_drive].submit(
+                    DiskRequest(IoKind.READ, parity_byte, n_bytes)
+                )
+            )
+            completions.append(
+                self.drives[parity_drive].submit(
+                    DiskRequest(IoKind.WRITE, parity_byte, n_bytes)
+                )
+            )
+        return AllOf(completions)

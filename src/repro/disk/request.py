@@ -1,0 +1,73 @@
+"""Disk request and service-time breakdown types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import InvalidRequestError
+
+
+class IoKind(enum.Enum):
+    """Direction of a transfer.  Reads and writes cost the same in this
+    model (no write-behind caching is simulated; the policies under study
+    differ in *layout*, not in caching)."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class DiskRequest:
+    """A contiguous transfer on a single physical drive.
+
+    Addresses are byte offsets on that drive (the array layer translates
+    linear/striped addresses into these).
+    """
+
+    kind: IoKind
+    start_byte: int
+    n_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.start_byte < 0:
+            raise InvalidRequestError(f"negative start: {self.start_byte}")
+        if self.n_bytes <= 0:
+            raise InvalidRequestError(f"non-positive length: {self.n_bytes}")
+
+    @property
+    def end_byte(self) -> int:
+        """One past the last byte transferred."""
+        return self.start_byte + self.n_bytes
+
+
+@dataclass(frozen=True)
+class ServiceBreakdown:
+    """Where the service time of one request went.
+
+    Attributes:
+        seek_ms: head movement before the transfer begins.
+        rotation_ms: rotational delay waiting for the first byte.
+        transfer_ms: media transfer, including intra-transfer cylinder
+            crossings and head switches.
+    """
+
+    seek_ms: float
+    rotation_ms: float
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Total service time."""
+        return self.seek_ms + self.rotation_ms + self.transfer_ms
+
+    def __add__(self, other: "ServiceBreakdown") -> "ServiceBreakdown":
+        return ServiceBreakdown(
+            self.seek_ms + other.seek_ms,
+            self.rotation_ms + other.rotation_ms,
+            self.transfer_ms + other.transfer_ms,
+        )
+
+
+#: Identity element for summing breakdowns.
+ZERO_BREAKDOWN = ServiceBreakdown(0.0, 0.0, 0.0)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+The allocation-related errors mirror the conditions the paper's simulator
+logs: an allocation request that cannot be satisfied raises
+:class:`DiskFullError`, which the experiment drivers interpret as the end of
+an allocation test.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, disk, policy, or workload configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""
+
+
+class AllocationError(ReproError):
+    """Base class for allocation failures."""
+
+
+class DiskFullError(AllocationError):
+    """An allocation request could not be satisfied.
+
+    The paper: "If an allocation request cannot be satisfied, a disk full
+    condition is logged."  Experiment drivers catch this to terminate
+    allocation tests and to compute fragmentation at the moment of failure.
+
+    Attributes:
+        requested_units: size of the request that failed, in disk units.
+        free_units: number of free disk units remaining in the system
+            (the external fragmentation numerator).
+    """
+
+    def __init__(self, requested_units: int, free_units: int) -> None:
+        self.requested_units = requested_units
+        self.free_units = free_units
+        super().__init__(
+            f"allocation of {requested_units} units failed "
+            f"with {free_units} units still free"
+        )
+
+
+class InvalidRequestError(ReproError):
+    """A disk or file-system request is malformed (bad offset, size, id)."""
+
+
+class FileSystemError(ReproError):
+    """A file-system operation referenced a missing or deleted file."""

@@ -1,0 +1,6 @@
+"""File-system layer: files, extent maps, and operation execution."""
+
+from .extmap import ExtentMap
+from .filesystem import FileSystem, FsFile
+
+__all__ = ["FileSystem", "FsFile", "ExtentMap"]

@@ -1,0 +1,98 @@
+"""Logical-offset → disk-address mapping for one file.
+
+A file's allocation is an ordered list of extents; extent ``i`` holds the
+units that logically follow extent ``i-1``.  :class:`ExtentMap` mirrors the
+allocator's extent list with a cumulative-length index so that locating a
+logical offset is a bisect, and converts logical ranges into *linear runs*
+(merging physically adjacent extents) ready for the disk system.
+
+The map must be kept in sync by the file system: call :meth:`sync_append`
+after the allocator grows the file and :meth:`sync_truncate` after it
+shrinks (both are tail operations, matching every policy's behaviour).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..alloc.base import AllocFile, Extent
+from ..errors import FileSystemError
+
+
+class ExtentMap:
+    """Cumulative index over an :class:`AllocFile`'s extents."""
+
+    __slots__ = ("_handle", "_cumulative")
+
+    def __init__(self, handle: AllocFile) -> None:
+        self._handle = handle
+        self._cumulative: list[int] = []
+        total = 0
+        for extent in handle.extents:
+            total += extent.length
+            self._cumulative.append(total)
+
+    @property
+    def total_units(self) -> int:
+        """Units mapped (== the file's allocated data units)."""
+        return self._cumulative[-1] if self._cumulative else 0
+
+    # -- synchronization ------------------------------------------------------
+
+    def sync_append(self, added: list[Extent]) -> None:
+        """Record extents the allocator just appended."""
+        total = self.total_units
+        for extent in added:
+            total += extent.length
+            self._cumulative.append(total)
+        if len(self._cumulative) != len(self._handle.extents):
+            raise FileSystemError("extent map out of sync after append")
+
+    def sync_truncate(self) -> None:
+        """Drop index entries for extents the allocator just removed."""
+        del self._cumulative[len(self._handle.extents):]
+        if len(self._cumulative) != len(self._handle.extents):
+            raise FileSystemError("extent map out of sync after truncate")
+
+    # -- queries ------------------------------------------------------------
+
+    def locate(self, unit_offset: int) -> tuple[int, int]:
+        """Map a logical unit offset to ``(extent index, offset within)``."""
+        if not 0 <= unit_offset < self.total_units:
+            raise FileSystemError(
+                f"offset {unit_offset} outside mapped {self.total_units} units"
+            )
+        index = bisect_right(self._cumulative, unit_offset)
+        previous_end = self._cumulative[index - 1] if index else 0
+        return index, unit_offset - previous_end
+
+    def runs(self, unit_offset: int, n_units: int) -> list[tuple[int, int]]:
+        """Linear disk runs covering a logical range, adjacency-merged.
+
+        Returns ``(linear start unit, length)`` pairs.  Contiguously
+        allocated extents merge into one run — this is where contiguous
+        allocation turns into fewer, larger disk transfers.
+        """
+        if n_units <= 0:
+            raise FileSystemError(f"non-positive range: {n_units}")
+        if unit_offset + n_units > self.total_units:
+            raise FileSystemError(
+                f"range [{unit_offset}, {unit_offset + n_units}) outside "
+                f"mapped {self.total_units} units"
+            )
+        extents = self._handle.extents
+        index, within = self.locate(unit_offset)
+        runs: list[tuple[int, int]] = []
+        remaining = n_units
+        while remaining > 0:
+            extent = extents[index]
+            take = min(extent.length - within, remaining)
+            start = extent.start + within
+            if runs and runs[-1][0] + runs[-1][1] == start:
+                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            else:
+                runs.append((start, take))
+            remaining -= take
+            index += 1
+            within = 0
+        return runs

@@ -1,0 +1,338 @@
+"""The file system: allocation policy + disk system + files.
+
+:class:`FileSystem` composes an :class:`~repro.alloc.base.Allocator`
+(placement) with a :class:`~repro.disk.array.DiskSystem` (timing) and
+exposes the operations the workloads perform: create, read, write, extend,
+truncate, delete, and the whole-file read/write of the sequential test.
+
+I/O methods are generators meant to run inside simulation processes::
+
+    def user():
+        n = yield from fs.read(handle, offset_bytes=0, n_bytes=8192)
+
+Timed data transfers go through the disk system; allocation itself is
+instantaneous (the policies' CPU cost is not what the paper measures).
+Completed transfer bytes are reported to an optional
+:class:`~repro.sim.meters.ThroughputMeter`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..alloc.base import Allocator
+from ..alloc.metrics import FragmentationReport, measure_fragmentation
+from ..disk.array import DiskSystem
+from ..disk.request import IoKind
+from ..errors import DiskFullError, FileSystemError
+from ..sim.engine import AllOf, Simulator
+from ..sim.meters import ThroughputMeter
+from ..units import ceil_div
+from .extmap import ExtentMap
+
+
+@dataclass
+class FsFile:
+    """An open file: logical length plus the mapping machinery.
+
+    Attributes:
+        fs_id: file-system-level id (distinct from the allocator's).
+        length_bytes: logical file length.
+        cursor_bytes: per-file sequential position (used by burst-style
+            workloads that read/write forward through the file).
+        tag: free-form label (the workload stores the file-type name).
+    """
+
+    fs_id: int
+    handle: object
+    extmap: ExtentMap
+    length_bytes: int = 0
+    cursor_bytes: int = 0
+    tag: str = ""
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def allocated_units(self) -> int:
+        """Data units allocated to this file."""
+        return self.handle.allocated_units
+
+
+class FileSystem:
+    """Files on an allocation policy on a disk system."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk: DiskSystem,
+        allocator: Allocator,
+        meter: ThroughputMeter | None = None,
+        write_behind: bool = False,
+    ) -> None:
+        """Args:
+            write_behind: when True, writes return as soon as their disk
+                requests are queued instead of waiting for completion —
+                the [STON89] design the paper cites ("read ahead and
+                write behind are used to achieve full stripe reads and
+                writes").  Reads always wait for their data.
+        """
+        if allocator.capacity_units > disk.capacity_units:
+            raise FileSystemError(
+                f"allocator address space {allocator.capacity_units} exceeds "
+                f"disk capacity {disk.capacity_units}"
+            )
+        self.sim = sim
+        self.disk = disk
+        self.allocator = allocator
+        self.write_behind = write_behind
+        if meter is not None:
+            self.disk.meter = meter
+        self.unit_bytes = disk.disk_unit_bytes
+        self.files: dict[int, FsFile] = {}
+        self._ids = itertools.count(1)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- lifecycle (allocation only; no simulated time) -------------------------
+
+    def create(self, size_hint_bytes: int = 0, tag: str = "") -> FsFile:
+        """Create an empty file (descriptor allocated, no data).
+
+        Raises:
+            DiskFullError: no space for the descriptor.
+        """
+        hint_units = ceil_div(size_hint_bytes, self.unit_bytes) if size_hint_bytes else 0
+        handle = self.allocator.create(size_hint_units=hint_units)
+        fs_file = FsFile(
+            fs_id=next(self._ids),
+            handle=handle,
+            extmap=ExtentMap(handle),
+            tag=tag,
+        )
+        self.files[fs_file.fs_id] = fs_file
+        return fs_file
+
+    def allocate_to(
+        self, fs_file: FsFile, length_bytes: int, step_bytes: int | None = None
+    ) -> None:
+        """Instantly grow a file to ``length_bytes`` (initialization phase).
+
+        The paper creates the initial population before the clock starts:
+        "Allocation requests are made until the allocation length of the
+        file is greater than or equal to this size."  ``step_bytes``
+        bounds the size of each individual allocation request — requests
+        arrive in workload-sized chunks, which matters to policies whose
+        placement depends on request history (the buddy system doubles the
+        file on *each* request).  No I/O is simulated.
+
+        Raises:
+            DiskFullError: the remaining space cannot hold the file; the
+                allocation done so far is kept (the file is just shorter),
+                matching the simulator's disk-full logging semantics.
+        """
+        self._check_live(fs_file)
+        needed_units = ceil_div(length_bytes, self.unit_bytes)
+        step_units = (
+            ceil_div(step_bytes, self.unit_bytes) if step_bytes else None
+        )
+        while fs_file.extmap.total_units < needed_units:
+            missing = needed_units - fs_file.extmap.total_units
+            request = min(missing, step_units) if step_units else missing
+            try:
+                added = self.allocator.extend(fs_file.handle, request)
+            except DiskFullError:
+                covered = fs_file.extmap.total_units * self.unit_bytes
+                fs_file.length_bytes = max(
+                    fs_file.length_bytes, min(length_bytes, covered)
+                )
+                raise
+            self._sync_after_extend(fs_file, added)
+        fs_file.length_bytes = max(fs_file.length_bytes, length_bytes)
+
+    def delete(self, fs_file: FsFile) -> None:
+        """Delete a file; frees all its space.
+
+        Deallocation is metadata-only (every policy pays the same one-unit
+        descriptor, so descriptor I/O cancels out of the comparison and is
+        not simulated).
+        """
+        self._check_live(fs_file)
+        self.allocator.delete(fs_file.handle)
+        del self.files[fs_file.fs_id]
+        fs_file.length_bytes = 0
+
+    def truncate(self, fs_file: FsFile, n_bytes: int) -> int:
+        """Shorten the file by ``n_bytes``; frees whole trailing blocks.
+
+        Pure metadata (no timed I/O).  Returns bytes actually removed from
+        the logical length.
+        """
+        self._check_live(fs_file)
+        if n_bytes < 0:
+            raise FileSystemError(f"negative truncate: {n_bytes}")
+        removed = min(n_bytes, fs_file.length_bytes)
+        fs_file.length_bytes -= removed
+        keep_units = ceil_div(fs_file.length_bytes, self.unit_bytes)
+        excess = fs_file.extmap.total_units - keep_units
+        if excess > 0:
+            self.allocator.truncate(fs_file.handle, excess)
+            fs_file.extmap.sync_truncate()
+        fs_file.cursor_bytes = min(fs_file.cursor_bytes, fs_file.length_bytes)
+        return removed
+
+    def reorganize(self, max_extents: int = 3) -> int:
+        """Run the allocator's background reallocator, if it has one.
+
+        Koch's DTSS system runs this "once every day"; the paper's
+        measurements exclude it, so it is an extension here.  Policies
+        without a ``reallocate`` method return 0.  Extent maps are rebuilt
+        to match the reshaped allocations; no I/O is simulated (the
+        reallocator runs in the paper's off-peak hours).
+        """
+        reallocate = getattr(self.allocator, "reallocate", None)
+        if reallocate is None:
+            return 0
+        used = {
+            fs_file.handle.file_id: ceil_div(fs_file.length_bytes, self.unit_bytes)
+            for fs_file in self.files.values()
+        }
+        reshaped = reallocate(used, max_extents=max_extents)
+        if reshaped:
+            for fs_file in self.files.values():
+                fs_file.extmap = ExtentMap(fs_file.handle)
+        return reshaped
+
+    # -- timed I/O (generators) ----------------------------------------------
+
+    def read(self, fs_file: FsFile, offset_bytes: int, n_bytes: int):
+        """Read a byte range (clamped to the file).  Returns bytes read."""
+        self._check_live(fs_file)
+        if offset_bytes < 0 or n_bytes < 0:
+            raise FileSystemError("negative read offset or size")
+        end = min(offset_bytes + n_bytes, fs_file.length_bytes)
+        if end <= offset_bytes:
+            return 0
+        runs = self._byte_range_runs(fs_file, offset_bytes, end - offset_bytes)
+        yield from self._transfer(IoKind.READ, runs)
+        actual = end - offset_bytes
+        self.bytes_read += actual
+        return actual
+
+    def write(self, fs_file: FsFile, offset_bytes: int, n_bytes: int):
+        """Write a byte range, growing the file when it extends past EOF.
+
+        Returns bytes written.
+        """
+        self._check_live(fs_file)
+        if offset_bytes < 0 or n_bytes <= 0:
+            raise FileSystemError("bad write offset or size")
+        if offset_bytes > fs_file.length_bytes:
+            offset_bytes = fs_file.length_bytes  # no holes: append instead
+        end = offset_bytes + n_bytes
+        if end > fs_file.length_bytes:
+            self._grow_to(fs_file, end)
+        runs = self._byte_range_runs(fs_file, offset_bytes, n_bytes)
+        if self.write_behind:
+            # Queue the disk work and return immediately; the drives
+            # drain it in the background (and the meter still sees it).
+            for start, length in runs:
+                self.disk.transfer(IoKind.WRITE, start, length)
+        else:
+            yield from self._transfer(IoKind.WRITE, runs)
+        self.bytes_written += n_bytes
+        return n_bytes
+
+    def extend(self, fs_file: FsFile, n_bytes: int):
+        """Append ``n_bytes`` (allocate + write).  Returns bytes appended."""
+        self._check_live(fs_file)
+        if n_bytes <= 0:
+            raise FileSystemError(f"non-positive extend: {n_bytes}")
+        offset = fs_file.length_bytes
+        written = yield from self.write(fs_file, offset, n_bytes)
+        return written
+
+    def read_whole(self, fs_file: FsFile):
+        """Sequential-test read: the entire file in one logical request."""
+        result = yield from self.read(fs_file, 0, fs_file.length_bytes)
+        return result
+
+    def write_whole(self, fs_file: FsFile):
+        """Sequential-test write: overwrite the entire file in place."""
+        if fs_file.length_bytes == 0:
+            return 0
+        result = yield from self.write(fs_file, 0, fs_file.length_bytes)
+        return result
+
+    # -- metrics ---------------------------------------------------------------
+
+    def fragmentation(self) -> FragmentationReport:
+        """Fragmentation of the current state (§3 definitions)."""
+        used: dict[int, float] = {}
+        for fs_file in self.files.values():
+            handle = fs_file.handle
+            used[handle.file_id] = fs_file.length_bytes / self.unit_bytes
+        return measure_fragmentation(self.allocator, used)
+
+    @property
+    def utilization(self) -> float:
+        """Allocated fraction of the address space (governor input)."""
+        return self.allocator.utilization
+
+    def live_files(self) -> list[FsFile]:
+        """All live files (stable order by id)."""
+        return [self.files[k] for k in sorted(self.files)]
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_live(self, fs_file: FsFile) -> None:
+        if fs_file.fs_id not in self.files:
+            raise FileSystemError(f"file {fs_file.fs_id} is not open")
+
+    def _grow_to(self, fs_file: FsFile, new_length_bytes: int) -> None:
+        needed_units = ceil_div(new_length_bytes, self.unit_bytes)
+        while fs_file.extmap.total_units < needed_units:
+            missing = needed_units - fs_file.extmap.total_units
+            added = self.allocator.extend(fs_file.handle, missing)
+            self._sync_after_extend(fs_file, added)
+        fs_file.length_bytes = new_length_bytes
+
+    def _sync_after_extend(self, fs_file: FsFile, added) -> None:
+        """Update the extent map; rebuild it when the allocator remapped
+        existing extents (FFS fragment-tail promotion)."""
+        handle = fs_file.handle
+        if handle.policy_state.pop("remapped", False):
+            fs_file.extmap = ExtentMap(handle)
+        else:
+            fs_file.extmap.sync_append(added)
+
+    def _byte_range_runs(
+        self, fs_file: FsFile, offset_bytes: int, n_bytes: int
+    ) -> list[tuple[int, int]]:
+        first_unit = offset_bytes // self.unit_bytes
+        last_unit = (offset_bytes + n_bytes - 1) // self.unit_bytes
+        return fs_file.extmap.runs(first_unit, last_unit - first_unit + 1)
+
+    @property
+    def meter(self):
+        """The disk system's throughput meter (drive-level crediting)."""
+        return self.disk.meter
+
+    @meter.setter
+    def meter(self, value) -> None:
+        self.disk.meter = value
+
+    def _transfer(self, kind: IoKind, runs: list[tuple[int, int]]):
+        """Issue all runs concurrently and wait for the slowest.
+
+        Throughput crediting happens at the drive level (each completed
+        disk request credits ``disk.meter`` over its service span), so a
+        whole-file read that spans many measurement intervals contributes
+        to each interval it actually occupied.
+        """
+        waitables = [
+            self.disk.transfer(kind, start, length) for start, length in runs
+        ]
+        if not waitables:
+            return None
+        yield AllOf(waitables)
+        return None

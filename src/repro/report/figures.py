@@ -1,0 +1,72 @@
+"""Text bar charts: the harness's rendering of the paper's figures.
+
+Each of Figures 1, 2, 4, 5, and 6 is a grouped bar chart; this module
+renders the same series as labelled unicode bars so a terminal run of the
+benchmark suite visually reproduces the figure shapes.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 40
+
+
+def render_bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """A single bar scaled against ``maximum``."""
+    if maximum <= 0:
+        raise ConfigurationError("bar maximum must be positive")
+    filled = int(round(width * max(0.0, min(value, maximum)) / maximum))
+    return "█" * filled + "·" * (width - filled)
+
+
+class GroupedBarChart:
+    """Grouped horizontal bars (one group per x-axis category).
+
+    >>> chart = GroupedBarChart("Fig 1e", value_format="{:.1f}%")
+    >>> chart.add("2 sizes", "g=1 clustered", 2.3)
+    >>> chart.add("2 sizes", "g=2 clustered", 1.5)
+    >>> print(chart.render())  # doctest: +ELLIPSIS
+    Fig 1e
+    ...
+    """
+
+    def __init__(
+        self,
+        title: str,
+        value_format: str = "{:.1f}",
+        maximum: float | None = None,
+    ) -> None:
+        self.title = title
+        self.value_format = value_format
+        self.maximum = maximum
+        self._groups: dict[str, list[tuple[str, float]]] = {}
+        self._group_order: list[str] = []
+
+    def add(self, group: str, series: str, value: float) -> None:
+        """Add one bar: ``group`` is the x category, ``series`` the legend."""
+        if group not in self._groups:
+            self._groups[group] = []
+            self._group_order.append(group)
+        self._groups[group].append((series, value))
+
+    def render(self) -> str:
+        """Render all groups with a shared scale."""
+        values = [v for bars in self._groups.values() for _, v in bars]
+        if not values:
+            return f"{self.title}\n(no data)"
+        maximum = self.maximum if self.maximum is not None else max(values)
+        maximum = max(maximum, 1e-12)
+        label_width = max(
+            (len(s) for bars in self._groups.values() for s, _ in bars),
+            default=0,
+        )
+        lines = [self.title]
+        for group in self._group_order:
+            lines.append(f"  {group}")
+            for series, value in self._groups[group]:
+                bar = render_bar(value, maximum)
+                formatted = self.value_format.format(value)
+                lines.append(f"    {series.ljust(label_width)} {bar} {formatted}")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Experiment dossiers: one readable report per run.
+
+The tables and charts in :mod:`repro.report.tables` / ``figures`` render
+single results; this module composes them into the summaries the examples
+and CLI print — a performance run with its phase numbers, operation mix,
+and per-operation latency, or a multi-policy comparison.
+"""
+
+from __future__ import annotations
+
+from ..core.experiments import PerformanceResult
+from .figures import GroupedBarChart
+from .tables import Table
+
+
+def render_performance_summary(result: PerformanceResult) -> str:
+    """A full dossier for one performance run."""
+    header = Table(
+        ["Phase", "% of max", "Stabilized", "Simulated (s)", "Bytes moved (MiB)"],
+        title=f"{result.policy_label} / {result.workload}",
+    )
+    for name, phase in (
+        ("application", result.application),
+        ("sequential", result.sequential),
+    ):
+        header.add_row(
+            [
+                name,
+                f"{phase.percent:.1f}%",
+                "yes" if phase.stabilized else "no",
+                f"{phase.simulated_ms / 1000:.0f}",
+                f"{phase.bytes_moved / 2**20:.1f}",
+            ]
+        )
+
+    operations = Table(
+        ["Operation", "Count", "Mean latency (ms)"],
+        title="Operation mix",
+    )
+    for op in sorted(result.operation_counts):
+        operations.add_row(
+            [
+                op,
+                result.operation_counts[op],
+                f"{result.operation_latency_ms.get(op, 0.0):.1f}",
+            ]
+        )
+
+    footer = [
+        f"final utilization : {100 * result.final_utilization:.1f}%",
+        f"disk-full events  : {result.disk_full_events}",
+        f"governor converts : {result.governor_conversions}",
+    ]
+    return "\n\n".join(
+        [header.render(), operations.render(), "\n".join(footer)]
+    )
+
+
+def render_policy_comparison(
+    results: list[PerformanceResult], title: str = "Policy comparison"
+) -> str:
+    """Side-by-side bars for a list of performance results."""
+    sequential = GroupedBarChart(
+        f"{title} — sequential (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    application = GroupedBarChart(
+        f"{title} — application (% of max)", value_format="{:.1f}%", maximum=100.0
+    )
+    for result in results:
+        sequential.add(result.workload, result.policy_label,
+                       result.sequential.percent)
+        application.add(result.workload, result.policy_label,
+                        result.application.percent)
+    return sequential.render() + "\n\n" + application.render()

@@ -1,0 +1,65 @@
+"""ASCII table rendering for experiment reports.
+
+The benchmark harness regenerates each of the paper's tables and figures
+as text; this module is the shared formatter.  No styling dependencies —
+plain monospace output that diffs cleanly run to run.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class Table:
+    """A simple aligned text table.
+
+    >>> t = Table(["Workload", "Internal", "External"], title="Results")
+    >>> t.add_row(["SC", "43.1%", "13.4%"])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    Results
+    ...
+    """
+
+    def __init__(self, headers: list[str], title: str = "") -> None:
+        if not headers:
+            raise ConfigurationError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: list[object]) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        """Render the table with a header rule and aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction as a percentage string (paper units)."""
+    return f"{100.0 * value:.{decimals}f}%"

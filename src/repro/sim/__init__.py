@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Simulator`, :class:`Process`, :class:`Waitable` — the engine.
+* :class:`RandomStream` — named, seeded distribution streams.
+* :class:`ThroughputMeter` — interval throughput + stabilization rule.
+* :class:`Tally`, :class:`Counter` — statistics accumulators.
+"""
+
+from .engine import AllOf, Process, Simulator, Waitable
+from .events import Event, EventHeap
+from .meters import (
+    DEFAULT_INTERVAL_MS,
+    DEFAULT_TOLERANCE,
+    DEFAULT_WINDOW,
+    ThroughputMeter,
+)
+from .rng import RandomStream
+from .stats import Counter, Tally, histogram
+
+__all__ = [
+    "AllOf",
+    "Simulator",
+    "Process",
+    "Waitable",
+    "Event",
+    "EventHeap",
+    "RandomStream",
+    "ThroughputMeter",
+    "DEFAULT_INTERVAL_MS",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WINDOW",
+    "Tally",
+    "Counter",
+    "histogram",
+]

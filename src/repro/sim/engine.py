@@ -1,0 +1,255 @@
+"""Discrete-event simulation engine.
+
+This is the substrate under every experiment in the study: an event-driven
+simulator with a millisecond clock, a time-ordered event heap
+(:mod:`repro.sim.events`), and generator-based *processes* in the style the
+paper describes for its per-user event streams.
+
+A process is a Python generator that yields *waitables*:
+
+* a ``float``/``int`` — sleep for that many simulated milliseconds,
+* a :class:`Waitable` (for example a disk-request completion or another
+  :class:`Process`) — suspend until it succeeds.
+
+Example:
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker():
+    ...     yield 5.0
+    ...     log.append(sim.now)
+    >>> _ = sim.process(worker())
+    >>> sim.run()
+    >>> log
+    [5.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import SimulationError
+from .events import Event, EventHeap
+
+ProcessGenerator = Generator["Waitable | float | int", Any, Any]
+
+
+class Waitable:
+    """Something a process can wait on.
+
+    A waitable succeeds exactly once, delivering ``value`` to every
+    registered callback.  Subclasses (disk request completions, processes
+    themselves) call :meth:`succeed` when their underlying activity
+    finishes.
+    """
+
+    __slots__ = ("done", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value: Any = None
+        self._waiters: list[Callable[["Simulator", Any], None]] = []
+
+    def on_success(self, callback: Callable[["Simulator", Any], None]) -> None:
+        """Register ``callback(sim, value)`` to run when this succeeds."""
+        if self.done:
+            raise SimulationError("waiting on an already-completed waitable")
+        self._waiters.append(callback)
+
+    def succeed(self, sim: "Simulator", value: Any = None) -> None:
+        """Complete the waitable, resuming all waiters at the current time."""
+        if self.done:
+            raise SimulationError("waitable completed twice")
+        self.done = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            sim.schedule(0.0, callback, value)
+
+
+class AllOf(Waitable):
+    """Succeeds when every child waitable has succeeded.
+
+    The value is the list of child values in construction order.  Used by
+    the disk array to join the per-disk pieces of a striped transfer: the
+    transfer completes when its slowest disk does.
+    """
+
+    __slots__ = ("_remaining", "_results")
+
+    def __init__(self, waitables: "list[Waitable]") -> None:
+        super().__init__()
+        self._results: list[Any] = [None] * len(waitables)
+        self._remaining = 0
+        for index, waitable in enumerate(waitables):
+            if waitable.done:
+                self._results[index] = waitable.value
+            else:
+                self._remaining += 1
+                waitable.on_success(self._make_child_callback(index))
+        if self._remaining == 0:
+            # Nothing outstanding: complete synchronously (no waiters can
+            # exist yet, so no scheduling is needed).
+            self.done = True
+            self.value = list(self._results)
+
+    def _make_child_callback(self, index: int) -> Callable[["Simulator", Any], None]:
+        def child_done(sim: "Simulator", value: Any) -> None:
+            self._results[index] = value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(sim, list(self._results))
+
+        return child_done
+
+
+class Process(Waitable):
+    """A running generator-based simulation process.
+
+    The process itself is a :class:`Waitable` that succeeds with the
+    generator's return value, so processes can join each other with
+    ``yield other_process``.
+    """
+
+    __slots__ = ("_generator", "name")
+
+    def __init__(self, generator: ProcessGenerator, name: str = "") -> None:
+        super().__init__()
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def _start(self, sim: "Simulator") -> None:
+        self._step(sim, None)
+
+    def _resume(self, sim: "Simulator", value: Any) -> None:
+        if not self.done:
+            self._step(sim, value)
+
+    def _step(self, sim: "Simulator", send_value: Any) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(sim, stop.value)
+            return
+        if isinstance(target, (int, float)):
+            sim.schedule(float(target), self._resume, None)
+        elif isinstance(target, Waitable):
+            if target.done:
+                sim.schedule(0.0, self._resume, target.value)
+            else:
+                target.on_success(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected a delay "
+                "(float) or a Waitable"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The simulation clock and scheduler.
+
+    Attributes:
+        now: current simulated time in milliseconds.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap = EventHeap()
+        self._stopped = False
+        self._events_executed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(self, *args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        return self._heap.push(self.now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(self, *args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        return self._heap.push(time, callback, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event so it never fires."""
+        if not event.cancelled:
+            event.cancel()
+            self._heap.note_cancelled()
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        process = Process(generator, name)
+        self.schedule(0.0, process._start)
+        return process
+
+    def timeout(self, delay: float) -> Waitable:
+        """A waitable that succeeds after ``delay`` ms (alternative to yielding a float)."""
+        waitable = Waitable()
+        self.schedule(delay, waitable.succeed)
+        return waitable
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        until: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run events in time order.
+
+        Stops when the heap empties, when the clock would pass ``until``
+        (the clock is then advanced to exactly ``until``), when
+        ``stop_when()`` returns True after an event executes, or when
+        :meth:`stop` is called from inside an event.
+        """
+        self._stopped = False
+        while len(self._heap) > 0 and not self._stopped:
+            next_time = self._heap.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            event = self._heap.pop()
+            if event.time < self.now:
+                raise SimulationError("event heap returned an event in the past")
+            self.now = event.time
+            event.callback(self, *event.args)
+            self._events_executed += 1
+            if stop_when is not None and stop_when():
+                return
+        if until is not None and not self._stopped:
+            self.now = max(self.now, until)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still scheduled."""
+        return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_executed
+
+    # -- convenience ------------------------------------------------------
+
+    def run_all(self, processes: Iterable[ProcessGenerator]) -> None:
+        """Start every generator as a process, then run to completion."""
+        for generator in processes:
+            self.process(generator)
+        self.run()

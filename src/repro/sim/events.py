@@ -1,0 +1,104 @@
+"""Event heap for the discrete-event engine.
+
+The paper's simulator maintains scheduled events "in a heap, sorted by their
+scheduled time"; this module is that heap.  Events are ordered by
+``(time, sequence)`` so that ties break in FIFO order, which keeps runs
+deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.engine.Simulator.schedule`
+    and compare by scheduled time (ties broken by creation order).  A
+    cancelled event stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine discards it instead of firing it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.3f} #{self.seq} {name}{state}>"
+
+
+class EventHeap:
+    """Min-heap of :class:`Event` objects keyed by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self, time: float, callback: Callable[..., Any], args: tuple[Any, ...] = ()
+    ) -> Event:
+        """Insert a new event and return it (for potential cancellation)."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: when the heap holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event heap")
+
+    def peek_time(self) -> float | None:
+        """Return the time of the next live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Record that one previously pushed event was cancelled.
+
+        The engine calls this when it cancels an event so that ``len`` and
+        emptiness checks stay accurate without an O(n) heap scan.
+        """
+        if self._live <= 0:
+            raise SimulationError("cancellation bookkeeping underflow")
+        self._live -= 1

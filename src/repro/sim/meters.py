@@ -1,0 +1,160 @@
+"""Throughput measurement and the paper's stabilization rule.
+
+Throughput in the study is "measured as a percentage of the maximum possible
+sequential throughput of the disk system" and is "considered stabilized when
+the throughput calculation for 3 consecutive 10 second intervals are within
+.1 % of each other".  :class:`ThroughputMeter` implements exactly that:
+completed transfers are recorded as ``(time, bytes)``; the meter buckets
+them into fixed intervals and reports both instantaneous and cumulative
+utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+#: The paper's interval length: 10 simulated seconds, in milliseconds.
+DEFAULT_INTERVAL_MS = 10_000.0
+
+#: The paper's tolerance: interval utilizations within 0.1 percentage
+#: points of each other (utilization expressed as a fraction, so 0.001).
+DEFAULT_TOLERANCE = 0.001
+
+#: The paper's window: three consecutive intervals.
+DEFAULT_WINDOW = 3
+
+
+@dataclass
+class ThroughputMeter:
+    """Buckets completed transfer bytes into fixed wall-clock intervals.
+
+    Args:
+        max_bytes_per_ms: the disk system's maximum sustained sequential
+            bandwidth, used to normalize utilization.
+        interval_ms: bucketing interval (paper: 10 s).
+        start_time: measurements before this simulated time are discarded
+            (used to skip the warm-up phase while the disks fill).
+    """
+
+    max_bytes_per_ms: float
+    interval_ms: float = DEFAULT_INTERVAL_MS
+    start_time: float = 0.0
+    _intervals: list[float] = field(default_factory=list, repr=False)
+    _total_bytes: float = field(default=0.0, repr=False)
+    _last_time: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_bytes_per_ms <= 0:
+            raise ConfigurationError("max bandwidth must be positive")
+        if self.interval_ms <= 0:
+            raise ConfigurationError("interval must be positive")
+        self._last_time = self.start_time
+
+    def record(self, time: float, n_bytes: int) -> None:
+        """Record ``n_bytes`` transferred, completing at simulated ``time``."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative transfer size: {n_bytes}")
+        if time < self.start_time:
+            return
+        self._credit(time, float(n_bytes))
+        self._total_bytes += n_bytes
+        self._last_time = max(self._last_time, time)
+
+    def record_span(self, start: float, end: float, n_bytes: int) -> None:
+        """Record a transfer that ran from ``start`` to ``end``.
+
+        Bytes are spread uniformly over the span so that a multi-interval
+        transfer (a whole-file read can run for tens of seconds) credits
+        each interval with the bandwidth it actually consumed, instead of
+        dumping everything into the completion interval.  The portion of
+        the span before ``start_time`` is discarded (warm-up).
+        """
+        if n_bytes < 0:
+            raise ConfigurationError(f"negative transfer size: {n_bytes}")
+        if end < start:
+            raise ConfigurationError(f"span ends before it starts: {start}..{end}")
+        if end <= self.start_time:
+            return
+        if end == start:
+            self.record(end, n_bytes)
+            return
+        rate = n_bytes / (end - start)
+        clipped_start = max(start, self.start_time)
+        credited = rate * (end - clipped_start)
+        position = clipped_start
+        while position < end:
+            index = int((position - self.start_time) // self.interval_ms)
+            interval_end = self.start_time + (index + 1) * self.interval_ms
+            chunk_end = min(interval_end, end)
+            self._credit(position, rate * (chunk_end - position))
+            position = chunk_end
+        self._total_bytes += credited
+        self._last_time = max(self._last_time, end)
+
+    def _credit(self, time: float, amount: float) -> None:
+        index = int((time - self.start_time) // self.interval_ms)
+        while len(self._intervals) <= index:
+            self._intervals.append(0.0)
+        self._intervals[index] += amount
+
+    # -- utilization -------------------------------------------------------
+
+    def interval_utilizations(self, up_to_time: float) -> list[float]:
+        """Utilization (fraction of max bandwidth) per *complete* interval.
+
+        Only intervals that ended at or before ``up_to_time`` count; the
+        current partial interval is excluded, matching the paper's use of
+        whole 10-second windows.
+        """
+        complete = int((up_to_time - self.start_time) // self.interval_ms)
+        complete = max(0, min(complete, len(self._intervals)))
+        per_interval_max = self.max_bytes_per_ms * self.interval_ms
+        return [b / per_interval_max for b in self._intervals[:complete]]
+
+    def cumulative_utilization(self, up_to_time: float) -> float:
+        """Bytes moved so far divided by what the disks could have moved."""
+        elapsed = up_to_time - self.start_time
+        if elapsed <= 0:
+            return 0.0
+        return self._total_bytes / (self.max_bytes_per_ms * elapsed)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes recorded since ``start_time``."""
+        return self._total_bytes
+
+    # -- stabilization -------------------------------------------------------
+
+    def stabilized(
+        self,
+        up_to_time: float,
+        window: int = DEFAULT_WINDOW,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> bool:
+        """Apply the paper's stabilization test.
+
+        True when the last ``window`` complete intervals all lie within
+        ``tolerance`` (in utilization-fraction units) of each other.
+        """
+        utilizations = self.interval_utilizations(up_to_time)
+        if len(utilizations) < window:
+            return False
+        tail = utilizations[-window:]
+        return max(tail) - min(tail) <= tolerance
+
+    def stable_utilization(
+        self, up_to_time: float, window: int = DEFAULT_WINDOW
+    ) -> float:
+        """Mean utilization over the final ``window`` complete intervals.
+
+        This is the number an experiment reports once :meth:`stabilized`
+        fires (or at the time cap, whichever comes first).  Falls back to
+        cumulative utilization when fewer than ``window`` intervals exist.
+        """
+        utilizations = self.interval_utilizations(up_to_time)
+        if len(utilizations) < window:
+            return self.cumulative_utilization(up_to_time)
+        tail = utilizations[-window:]
+        return sum(tail) / len(tail)

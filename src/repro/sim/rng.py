@@ -1,0 +1,123 @@
+"""Seeded random streams for the stochastic workload model.
+
+The paper's workloads are stochastic: file sizes are uniform around a mean,
+request sizes are normal, think times are exponential, extent sizes are
+normal with a 10 % deviation.  This module provides named, independently
+seeded streams of those distribution families so that every experiment is
+exactly reproducible from ``(seed, stream name)`` and two components never
+share a stream (adding events to one subsystem cannot perturb another).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def _derive_seed(seed: int, name: str) -> int:
+    """Derive a child seed from a parent seed and a stream name.
+
+    Uses SHA-256 so unrelated names give statistically independent seeds
+    and the derivation is stable across Python versions and processes
+    (unlike ``hash``).
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A named random stream with the distribution families the model uses.
+
+    Wraps :class:`random.Random` (Mersenne Twister) with clamped/validated
+    variants of the distributions the paper's workload description calls
+    for.  Fork substreams with :meth:`fork` rather than sharing a stream.
+    """
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+        self._random = random.Random(_derive_seed(seed, name))
+
+    def fork(self, name: str) -> "RandomStream":
+        """Create an independent child stream identified by ``name``."""
+        return RandomStream(self.seed, f"{self.name}/{name}")
+
+    # -- distribution families ---------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform value in ``[low, high]``."""
+        if high < low:
+            raise ConfigurationError(f"uniform range inverted: [{low}, {high}]")
+        return self._random.uniform(low, high)
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` inclusive."""
+        if high < low:
+            raise ConfigurationError(f"uniform range inverted: [{low}, {high}]")
+        return self._random.randint(low, high)
+
+    def uniform_around(self, mean: float, deviation: float) -> float:
+        """Uniform in ``[mean - deviation, mean + deviation]``, floored at 0.
+
+        This is the paper's initialization distribution: "a size is selected
+        from a uniform distribution with mean equal to initial size and
+        deviation of initial deviation".
+        """
+        return max(0.0, self._random.uniform(mean - deviation, mean + deviation))
+
+    def normal(self, mean: float, deviation: float, minimum: float = 0.0) -> float:
+        """Normal sample clamped below at ``minimum``.
+
+        Request and extent sizes are normal; a raw normal can go negative,
+        which has no physical meaning for a size, so the sample is clamped.
+        """
+        if deviation < 0:
+            raise ConfigurationError(f"negative deviation: {deviation}")
+        return max(minimum, self._random.gauss(mean, deviation))
+
+    def exponential(self, mean: float) -> float:
+        """Exponential sample with the given mean (paper's think time)."""
+        if mean < 0:
+            raise ConfigurationError(f"negative exponential mean: {mean}")
+        if mean == 0:
+            return 0.0
+        return self._random.expovariate(1.0 / mean)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        if not items:
+            raise ConfigurationError("choice from an empty sequence")
+        return self._random.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choice proportional to ``weights`` (used for operation ratios)."""
+        if len(items) != len(weights):
+            raise ConfigurationError("items and weights differ in length")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        pick = self._random.random() * total
+        cumulative = 0.0
+        for item, weight in zip(items, weights):
+            if weight < 0:
+                raise ConfigurationError(f"negative weight: {weight}")
+            cumulative += weight
+            if pick < cumulative:
+                return item
+        return items[-1]
+
+    def shuffle(self, items: list[T]) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(items)
+
+    def random(self) -> float:
+        """Raw uniform in [0, 1)."""
+        return self._random.random()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RandomStream seed={self.seed} name={self.name!r}>"

@@ -1,0 +1,120 @@
+"""Small statistics helpers used across the simulator.
+
+A :class:`Tally` accumulates scalar observations with Welford's online
+algorithm (numerically stable mean/variance without storing samples), and a
+:class:`Counter` tracks named event counts.  Experiment drivers use these
+for per-operation latency and per-policy bookkeeping such as the
+extents-per-file numbers behind Table 4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class Tally:
+    """Online mean / variance / min / max of a stream of observations."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 before any observation)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        return self._m2 / self.count if self.count >= 2 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._mean * self.count
+
+    def merge(self, other: "Tally") -> None:
+        """Fold another tally's observations into this one (Chan's method)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Tally n={self.count} mean={self.mean:.3f}>"
+
+
+@dataclass
+class Counter:
+    """Named integer counters with a defaultdict backing store."""
+
+    counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self.counts[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters as a plain dict."""
+        return dict(self.counts)
+
+
+def histogram(values: list[float], n_bins: int) -> list[tuple[float, float, int]]:
+    """Equal-width histogram: list of ``(low, high, count)`` bins.
+
+    Used by the report layer for latency distribution summaries.  Returns
+    an empty list for empty input; a single degenerate bin when all values
+    are equal.
+    """
+    if not values:
+        return []
+    low, high = min(values), max(values)
+    if low == high:
+        return [(low, high, len(values))]
+    width = (high - low) / n_bins
+    bins = [0] * n_bins
+    for value in values:
+        index = min(int((value - low) / width), n_bins - 1)
+        bins[index] += 1
+    return [
+        (low + i * width, low + (i + 1) * width, count)
+        for i, count in enumerate(bins)
+    ]

@@ -1,0 +1,116 @@
+"""Bisect-backed sorted containers for address and size indexing.
+
+The allocators need three ordered queries fast: "is address X free",
+"first free address >= X" (for contiguity hunting), and "smallest free
+extent with length >= N" (for best-fit).  These thin wrappers around
+``bisect`` on a compact Python list provide them with O(log n) search and
+C-speed memmove inserts, which comfortably beats pointer-chasing structures
+at the list sizes the simulations produce.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator
+
+from ..errors import SimulationError
+
+
+class SortedAddresses:
+    """A sorted set of integer addresses with successor/predecessor queries."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list[int] | None = None) -> None:
+        self._items: list[int] = sorted(items) if items else []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, address: int) -> bool:
+        index = bisect_left(self._items, address)
+        return index < len(self._items) and self._items[index] == address
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def add(self, address: int) -> None:
+        """Insert a new address; duplicates are an error (a block cannot be freed twice)."""
+        index = bisect_left(self._items, address)
+        if index < len(self._items) and self._items[index] == address:
+            raise SimulationError(f"address {address} already present")
+        self._items.insert(index, address)
+
+    def remove(self, address: int) -> None:
+        """Remove an address known to be present."""
+        index = bisect_left(self._items, address)
+        if index >= len(self._items) or self._items[index] != address:
+            raise SimulationError(f"address {address} not present")
+        del self._items[index]
+
+    def successor(self, address: int) -> int | None:
+        """Smallest member >= ``address``, or None."""
+        index = bisect_left(self._items, address)
+        if index < len(self._items):
+            return self._items[index]
+        return None
+
+    def predecessor(self, address: int) -> int | None:
+        """Largest member < ``address``, or None."""
+        index = bisect_left(self._items, address)
+        if index > 0:
+            return self._items[index - 1]
+        return None
+
+    def first(self) -> int | None:
+        """Smallest member, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def range(self, low: int, high: int) -> list[int]:
+        """Members in ``[low, high)`` in order."""
+        lo = bisect_left(self._items, low)
+        hi = bisect_left(self._items, high)
+        return self._items[lo:hi]
+
+
+class SortedPairs:
+    """A sorted multiset of ``(primary, secondary)`` integer pairs.
+
+    Used as the best-fit size index: pairs are ``(length, start)`` so the
+    smallest adequate extent (ties broken by lowest address) is a single
+    bisect away.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._items)
+
+    def add(self, primary: int, secondary: int) -> None:
+        """Insert a pair (duplicates allowed only if truly distinct pairs)."""
+        insort(self._items, (primary, secondary))
+
+    def remove(self, primary: int, secondary: int) -> None:
+        """Remove a pair known to be present."""
+        pair = (primary, secondary)
+        index = bisect_left(self._items, pair)
+        if index >= len(self._items) or self._items[index] != pair:
+            raise SimulationError(f"pair {pair} not present")
+        del self._items[index]
+
+    def first_with_primary_at_least(self, minimum: int) -> tuple[int, int] | None:
+        """Smallest pair whose primary >= ``minimum``, or None.
+
+        For the best-fit index this is "the smallest free extent that still
+        fits", with the lowest start address among equals.
+        """
+        index = bisect_left(self._items, (minimum, -1))
+        if index < len(self._items):
+            return self._items[index]
+        return None

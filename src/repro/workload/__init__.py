@@ -1,0 +1,63 @@
+"""Workload characterization: file types, profiles, and drivers."""
+
+from .driver import (
+    DEFAULT_LOWER_BOUND,
+    DEFAULT_UPPER_BOUND,
+    AllocationTestResult,
+    WorkloadDriver,
+    run_allocation_until_full,
+)
+from .filetype import AccessPattern, FileType, Operation
+from .ops import (
+    PlannedOp,
+    pick_offset,
+    pick_operation,
+    plan_operation,
+    sample_initial_size,
+    sample_rw_size,
+)
+from .trace import (
+    ReplayResult,
+    Trace,
+    TraceEvent,
+    TraceFile,
+    record_trace,
+    replay_trace,
+)
+from .profiles import (
+    Profile,
+    mini,
+    profile_by_name,
+    supercomputer,
+    time_sharing,
+    transaction_processing,
+)
+
+__all__ = [
+    "FileType",
+    "Operation",
+    "AccessPattern",
+    "Profile",
+    "time_sharing",
+    "transaction_processing",
+    "supercomputer",
+    "mini",
+    "profile_by_name",
+    "WorkloadDriver",
+    "AllocationTestResult",
+    "run_allocation_until_full",
+    "DEFAULT_LOWER_BOUND",
+    "DEFAULT_UPPER_BOUND",
+    "PlannedOp",
+    "plan_operation",
+    "pick_operation",
+    "pick_offset",
+    "sample_rw_size",
+    "sample_initial_size",
+    "Trace",
+    "TraceEvent",
+    "TraceFile",
+    "ReplayResult",
+    "record_trace",
+    "replay_trace",
+]

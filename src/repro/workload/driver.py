@@ -1,0 +1,321 @@
+"""Workload execution: user event processes and the allocation test loop.
+
+Two execution paths share the same stochastic operation stream
+(:mod:`repro.workload.ops`):
+
+* :class:`WorkloadDriver` — timed: one simulation process per user per
+  file type, staggered per the paper's initialization ("each is assigned
+  a start time uniformly distributed in the range [0, number of users *
+  hit frequency]"), issuing operations with exponentially distributed
+  think time and applying the disk-utilization governor ("any extend
+  operation occurring when the disk utilization is greater than M is
+  converted into a truncate operation").
+* :func:`run_allocation_until_full` — untimed: "performing only the
+  extend, truncate, delete, and create operations in the proportion as
+  expressed by the file type parameters" until the first allocation
+  failure, at which point fragmentation is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..alloc.metrics import FragmentationReport
+from ..errors import DiskFullError, SimulationError
+from ..fs.filesystem import FileSystem, FsFile
+from ..sim.engine import Simulator
+from ..sim.rng import RandomStream
+from ..sim.stats import Counter, Tally
+from .filetype import FileType, Operation
+from .ops import pick_offset, plan_operation, sample_initial_size
+from .profiles import Profile
+
+#: The paper's disk-utilization bounds for the performance tests.
+DEFAULT_LOWER_BOUND = 0.90
+DEFAULT_UPPER_BOUND = 0.95
+
+
+def _populate_step(file_type: FileType) -> int | None:
+    """Allocation-request grain for building a file of this type."""
+    step = file_type.allocation_size_bytes or file_type.rw_size_bytes
+    return step or None
+
+
+class WorkloadDriver:
+    """Timed workload execution against a file system.
+
+    Attributes:
+        mode: ``"application"`` (the §2.2 mixes) or ``"sequential"``
+            (whole-file reads/writes only); may be switched between
+            phases by the experiment controller.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs: FileSystem,
+        profile: Profile,
+        seed: int = 0,
+        lower_bound: float = DEFAULT_LOWER_BOUND,
+        upper_bound: float = DEFAULT_UPPER_BOUND,
+    ) -> None:
+        if not 0 < lower_bound <= upper_bound <= 1:
+            raise SimulationError(
+                f"bad utilization bounds [{lower_bound}, {upper_bound}]"
+            )
+        self.sim = sim
+        self.fs = fs
+        self.profile = profile
+        self.rng = RandomStream(seed, f"driver/{profile.name}")
+        self.lower_bound = lower_bound
+        self.upper_bound = upper_bound
+        self.mode = "application"
+        self.files: dict[str, list[FsFile]] = {}
+        self.op_counts = Counter()
+        self.op_latency: dict[str, Tally] = {}
+        self.disk_full_events = 0
+        self.governor_conversions = 0
+
+    # -- setup ------------------------------------------------------------------
+
+    def populate(self) -> None:
+        """Create the initial file population (instant, untimed).
+
+        Stops filling gracefully if the disk runs out mid-population — the
+        allocation test *wants* to begin near-full.
+        """
+        for file_type in self.profile.types:
+            init_rng = self.rng.fork(f"init/{file_type.name}")
+            population: list[FsFile] = []
+            try:
+                for _ in range(file_type.n_files):
+                    population.append(self._create_file(file_type, init_rng))
+            except DiskFullError:
+                self.disk_full_events += 1
+            self.files[file_type.name] = population
+
+    def start_users(self) -> None:
+        """Spawn every user process with its staggered start time."""
+        for file_type in self.profile.types:
+            stagger_range = file_type.n_users * file_type.hit_frequency_ms
+            for user_index in range(file_type.n_users):
+                user_rng = self.rng.fork(f"user/{file_type.name}/{user_index}")
+                delay = user_rng.uniform(0.0, max(stagger_range, 0.0))
+                self.sim.process(
+                    self._user_loop(file_type, user_rng, delay),
+                    name=f"{file_type.name}#{user_index}",
+                )
+
+    # -- user processes -----------------------------------------------------------
+
+    def _user_loop(self, file_type: FileType, rng: RandomStream, delay: float):
+        yield delay
+        while True:
+            yield from self._one_operation(file_type, rng)
+            yield rng.exponential(file_type.process_time_ms)
+
+    def _mode_weights(self, file_type: FileType) -> dict[Operation, float]:
+        if self.mode == "sequential":
+            return file_type.sequential_weights
+        return file_type.operation_weights
+
+    def _one_operation(self, file_type: FileType, rng: RandomStream):
+        population = self.files.get(file_type.name)
+        if not population:
+            return
+        fs_file = rng.choice(population)
+        planned = plan_operation(rng, file_type, self._mode_weights(file_type))
+        op, size = planned.op, planned.size_bytes
+
+        # The governor: extends above the upper bound become truncates.
+        if op is Operation.EXTEND and self.fs.utilization > self.upper_bound:
+            op = Operation.TRUNCATE
+            size = max(1, file_type.truncate_size_bytes)
+            self.governor_conversions += 1
+
+        started = self.sim.now
+        try:
+            if op is Operation.READ:
+                yield from self._do_read(file_type, fs_file, rng, size)
+            elif op is Operation.WRITE:
+                yield from self._do_write(file_type, fs_file, rng, size)
+            elif op is Operation.EXTEND:
+                yield from self.fs.extend(fs_file, size)
+            elif op is Operation.TRUNCATE:
+                self.fs.truncate(fs_file, size)
+            elif op is Operation.DELETE:
+                yield from self._do_delete(file_type, fs_file, population, size)
+        except DiskFullError:
+            # "a disk full condition is logged, and the current event is
+            # rescheduled" — the user simply thinks again and retries.
+            self.disk_full_events += 1
+        self.op_counts.incr(op.value)
+        self.op_latency.setdefault(op.value, Tally()).add(self.sim.now - started)
+
+    def _do_read(self, file_type, fs_file, rng, size: int):
+        if self.mode == "sequential":
+            yield from self.fs.read_whole(fs_file)
+            return
+        offset, new_cursor = pick_offset(
+            rng, file_type, fs_file.length_bytes, fs_file.cursor_bytes, size
+        )
+        fs_file.cursor_bytes = new_cursor
+        yield from self.fs.read(fs_file, offset, size)
+
+    def _do_write(self, file_type, fs_file, rng, size: int):
+        if self.mode == "sequential":
+            yield from self.fs.write_whole(fs_file)
+            return
+        offset, new_cursor = pick_offset(
+            rng, file_type, fs_file.length_bytes, fs_file.cursor_bytes, size
+        )
+        fs_file.cursor_bytes = new_cursor
+        yield from self.fs.write(fs_file, offset, size)
+
+    def _do_delete(self, file_type, fs_file, population, new_size: int):
+        """Delete and recreate: churn that keeps the population stable."""
+        population.remove(fs_file)
+        self.fs.delete(fs_file)
+        replacement = self.fs.create(
+            size_hint_bytes=file_type.allocation_size_bytes, tag=file_type.name
+        )
+        population.append(replacement)
+        # Writing the new file's contents is real, timed I/O.
+        yield from self.fs.write(replacement, 0, new_size)
+
+    # -- shared helpers ------------------------------------------------------------
+
+    def _create_file(self, file_type: FileType, rng: RandomStream) -> FsFile:
+        """Create + instantly fill one file (initialization-phase path).
+
+        The fill proceeds in workload-sized allocation requests ("requests
+        are made until the allocation length ... is greater than or equal
+        to this size"), which is what gives the buddy policy its doubling
+        chain.
+        """
+        size = sample_initial_size(rng, file_type)
+        fs_file = self.fs.create(
+            size_hint_bytes=file_type.allocation_size_bytes, tag=file_type.name
+        )
+        self.fs.allocate_to(fs_file, size, step_bytes=_populate_step(file_type))
+        return fs_file
+
+    def live_file_count(self) -> int:
+        """Total live files across all types."""
+        return sum(len(v) for v in self.files.values())
+
+
+# ---------------------------------------------------------------------------
+# The untimed allocation test
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AllocationTestResult:
+    """Outcome of one allocation test (feeds Figures 1 & 4 and Table 3/4).
+
+    Attributes:
+        filled: True when the test ended with an allocation failure (the
+            paper's stopping rule).  False when the churn reached a steady
+            state below full within the operation budget — the
+            fragmentation snapshot is then of that steady state.
+    """
+
+    fragmentation: FragmentationReport
+    operations: int
+    average_extents_per_file: float
+    file_count: int
+    filled: bool = True
+
+
+def run_allocation_until_full(
+    fs: FileSystem,
+    profile: Profile,
+    seed: int = 0,
+    max_operations: int = 5_000_000,
+) -> AllocationTestResult:
+    """Churn allocation operations until the first failure; measure.
+
+    The file system must be freshly created.  The initial population is
+    built first; then extend / truncate / delete(+create) operations are
+    drawn per type (types weighted by their event rates) until a request
+    cannot be satisfied: "As soon as the first allocation request fails,
+    the external and internal fragmentation are computed."
+    """
+    rng = RandomStream(seed, f"alloctest/{profile.name}")
+    files: dict[str, list[FsFile]] = {}
+    failed = False
+
+    # Initialization phase: create the population.
+    for file_type in profile.types:
+        init_rng = rng.fork(f"init/{file_type.name}")
+        population: list[FsFile] = []
+        files[file_type.name] = population
+        try:
+            for _ in range(file_type.n_files):
+                size = sample_initial_size(init_rng, file_type)
+                fs_file = fs.create(
+                    size_hint_bytes=file_type.allocation_size_bytes,
+                    tag=file_type.name,
+                )
+                population.append(fs_file)
+                fs.allocate_to(fs_file, size, step_bytes=_populate_step(file_type))
+        except DiskFullError:
+            failed = True
+            break
+
+    # Churn phase: alloc-affecting operations only.
+    churn_types = [
+        t for t in profile.types if sum(t.allocation_weights.values()) > 0
+    ]
+    operations = 0
+    if not failed and churn_types:
+        type_rates = [t.event_rate for t in churn_types]
+        op_rng = rng.fork("churn")
+        while operations < max_operations:
+            file_type = op_rng.weighted_choice(churn_types, type_rates)
+            population = files[file_type.name]
+            if not population:
+                continue
+            fs_file = op_rng.choice(population)
+            planned = plan_operation(op_rng, file_type, file_type.allocation_weights)
+            operations += 1
+            try:
+                if planned.op is Operation.EXTEND:
+                    fs.allocate_to(
+                        fs_file, fs_file.length_bytes + planned.size_bytes
+                    )
+                elif planned.op is Operation.TRUNCATE:
+                    fs.truncate(fs_file, max(1, file_type.truncate_size_bytes))
+                elif planned.op is Operation.DELETE:
+                    population.remove(fs_file)
+                    fs.delete(fs_file)
+                    replacement = fs.create(
+                        size_hint_bytes=file_type.allocation_size_bytes,
+                        tag=file_type.name,
+                    )
+                    population.append(replacement)
+                    fs.allocate_to(
+                        replacement,
+                        planned.size_bytes,
+                        step_bytes=_populate_step(file_type),
+                    )
+            except DiskFullError:
+                failed = True
+                break
+
+    report = fs.fragmentation()
+    allocator = fs.allocator
+    if allocator.files:
+        average_extents = sum(
+            h.extent_count for h in allocator.files.values()
+        ) / len(allocator.files)
+    else:
+        average_extents = 0.0
+    return AllocationTestResult(
+        fragmentation=report,
+        operations=operations,
+        average_extents_per_file=average_extents,
+        file_count=len(allocator.files),
+        filled=failed,
+    )

@@ -1,0 +1,96 @@
+"""Operation selection and size sampling.
+
+"The simulation runs by selecting the first event from the heap.  Since
+each event corresponds to a file and therefore a file type, an operation
+may be selected based on the read, write, extend, and delete ratios.  Then
+the rw size, rw deviation, and truncate size are used to generate a size
+parameter."
+
+These helpers are pure (given a :class:`~repro.sim.rng.RandomStream`), so
+the timed performance tests and the untimed allocation test share exactly
+the same stochastic op stream logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.rng import RandomStream
+from .filetype import AccessPattern, FileType, Operation
+
+
+@dataclass(frozen=True)
+class PlannedOp:
+    """A sampled operation before it is applied to a concrete file."""
+
+    op: Operation
+    size_bytes: int
+
+
+def pick_operation(
+    rng: RandomStream, weights: dict[Operation, float]
+) -> Operation:
+    """Draw one operation according to the ratio weights."""
+    items = list(weights.keys())
+    return rng.weighted_choice(items, [weights[op] for op in items])
+
+
+def sample_rw_size(rng: RandomStream, file_type: FileType) -> int:
+    """Request size: normal(rw size, rw deviation), at least one byte."""
+    size = rng.normal(
+        float(file_type.rw_size_bytes),
+        float(file_type.rw_deviation_bytes),
+        minimum=1.0,
+    )
+    return max(1, int(round(size)))
+
+
+def sample_initial_size(rng: RandomStream, file_type: FileType) -> int:
+    """Initial file size: "selected from a uniform distribution with mean
+    equal to initial size and deviation of initial deviation"."""
+    size = rng.uniform_around(
+        float(file_type.initial_size_bytes),
+        float(file_type.initial_deviation_bytes),
+    )
+    return max(1, int(round(size)))
+
+
+def plan_operation(
+    rng: RandomStream,
+    file_type: FileType,
+    weights: dict[Operation, float],
+) -> PlannedOp:
+    """Sample an operation and its size parameter for one event."""
+    op = pick_operation(rng, weights)
+    if op in (Operation.READ, Operation.WRITE, Operation.EXTEND):
+        size = sample_rw_size(rng, file_type)
+    elif op is Operation.TRUNCATE:
+        size = max(1, file_type.truncate_size_bytes)
+    else:  # DELETE: size is the replacement file's initial size
+        size = sample_initial_size(rng, file_type)
+    return PlannedOp(op, size)
+
+
+def pick_offset(
+    rng: RandomStream,
+    file_type: FileType,
+    length_bytes: int,
+    cursor_bytes: int,
+    size_bytes: int,
+) -> tuple[int, int]:
+    """Choose a read/write offset; returns ``(offset, new cursor)``.
+
+    Random types land uniformly (the whole request stays inside the file
+    when it fits); sequential types march a per-file cursor forward in
+    bursts, wrapping at end of file.
+    """
+    if length_bytes <= 0:
+        return 0, 0
+    if file_type.access is AccessPattern.SEQUENTIAL:
+        offset = cursor_bytes if cursor_bytes < length_bytes else 0
+        new_cursor = offset + size_bytes
+        if new_cursor >= length_bytes:
+            new_cursor = 0
+        return offset, new_cursor
+    high = max(0, length_bytes - size_bytes)
+    return rng.uniform_int(0, high), cursor_bytes

@@ -1,0 +1,78 @@
+"""Unit tests for the shared Allocator interface and Extent type."""
+
+import pytest
+
+from repro.alloc.base import Extent
+from repro.alloc.fixed import FixedBlockAllocator
+from repro.errors import FileSystemError
+
+
+class TestExtent:
+    def test_end(self):
+        assert Extent(10, 5).end == 15
+
+    def test_invalid_raises(self):
+        with pytest.raises(FileSystemError):
+            Extent(-1, 5)
+        with pytest.raises(FileSystemError):
+            Extent(0, 0)
+
+    def test_frozen(self):
+        extent = Extent(0, 1)
+        with pytest.raises(AttributeError):
+            extent.start = 5
+
+
+class TestAllocatorAccounting:
+    def make(self):
+        return FixedBlockAllocator(1000, 4)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(FileSystemError):
+            FixedBlockAllocator(0, 4)
+
+    def test_file_ids_unique(self):
+        allocator = self.make()
+        ids = {allocator.create().file_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_utilization(self):
+        allocator = self.make()
+        handle = allocator.create()
+        allocator.extend(handle, 96)
+        assert allocator.utilization == pytest.approx(0.1)  # 100 of 1000
+
+    def test_extend_non_positive_raises(self):
+        allocator = self.make()
+        handle = allocator.create()
+        with pytest.raises(FileSystemError):
+            allocator.extend(handle, 0)
+
+    def test_truncate_negative_raises(self):
+        allocator = self.make()
+        handle = allocator.create()
+        with pytest.raises(FileSystemError):
+            allocator.truncate(handle, -1)
+
+    def test_truncate_more_than_allocated_frees_all(self):
+        allocator = self.make()
+        handle = allocator.create()
+        allocator.extend(handle, 12)
+        freed = allocator.truncate(handle, 9999)
+        assert freed == 12
+        assert handle.extent_count == 0
+
+    def test_allocation_request_counters(self):
+        allocator = self.make()
+        handle = allocator.create()
+        allocator.extend(handle, 4)
+        assert allocator.allocation_requests == 1
+        assert allocator.failed_requests == 0
+
+    def test_check_no_overlap_detects_corruption(self):
+        allocator = self.make()
+        a = allocator.create()
+        allocator.extend(a, 4)
+        a.extents.append(a.extents[0])  # deliberate corruption
+        with pytest.raises(FileSystemError):
+            allocator.check_no_overlap()

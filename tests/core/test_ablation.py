@@ -1,0 +1,32 @@
+"""Tests for the Figure 3 grow-factor ablation."""
+
+from repro.core.ablation import grow_factor_ablation
+from repro.units import KIB
+
+
+class TestGrowFactorAblation:
+    def test_discontinuity_arrives_at_72k_for_grow_one(self):
+        """g=1: the 64K tier (and its misalignment) begins past 72K."""
+        points = grow_factor_ablation(
+            1, file_sizes_bytes=[64 * KIB, 72 * KIB, 80 * KIB]
+        )
+        by_size = {p.file_size_bytes // KIB: p for p in points}
+        assert by_size[80].discontiguities > by_size[72].discontiguities
+
+    def test_grow_two_defers_the_discontinuity(self):
+        """g=2: at 80K the file is still in small blocks — no new break."""
+        points = grow_factor_ablation(
+            2, file_sizes_bytes=[72 * KIB, 80 * KIB, 136 * KIB, 152 * KIB]
+        )
+        by_size = {p.file_size_bytes // KIB: p for p in points}
+        assert by_size[80].discontiguities == by_size[72].discontiguities
+        assert by_size[152].discontiguities > by_size[136].discontiguities
+
+    def test_read_time_monotone_enough(self):
+        points = grow_factor_ablation(1, file_sizes_bytes=[8 * KIB, 64 * KIB])
+        assert points[1].read_ms > points[0].read_ms
+        assert all(p.effective_mbps > 0 for p in points)
+
+    def test_extent_counts_recorded(self):
+        points = grow_factor_ablation(1, file_sizes_bytes=[72 * KIB])
+        assert points[0].extent_count == 16  # 8x1K + 8x8K

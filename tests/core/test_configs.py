@@ -1,0 +1,127 @@
+"""Unit tests for the canonical experiment configurations."""
+
+import pytest
+
+from repro.alloc.buddy import BinaryBuddyAllocator
+from repro.alloc.extent import ExtentAllocator, FitPolicy
+from repro.alloc.fixed import FixedBlockAllocator
+from repro.alloc.restricted import RestrictedBuddyAllocator
+from repro.core.configs import (
+    EXTENT_RANGES_TP_SC,
+    EXTENT_RANGES_TS,
+    RESTRICTED_LADDERS,
+    SELECTED_RESTRICTED,
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+    extent_ranges_for,
+    selected_extent,
+    selected_fixed,
+)
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+from repro.units import GIB, KIB
+
+
+class TestSystemConfig:
+    def test_paper_defaults(self):
+        system = SystemConfig()
+        assert system.n_disks == 8
+        assert system.stripe_unit_bytes == 24 * KIB
+        assert system.disk_unit_bytes == KIB
+        assert 2.6 * GIB < system.capacity_bytes < 2.7 * GIB
+
+    def test_scaled_capacity(self):
+        half = SystemConfig(scale=0.5)
+        assert half.capacity_bytes == pytest.approx(
+            SystemConfig().capacity_bytes / 2, rel=0.01
+        )
+
+    def test_build_array(self):
+        system = SystemConfig(scale=0.05)
+        array = system.build_array(Simulator())
+        assert len(array.drives) == 8
+        assert array.capacity_bytes == system.capacity_bytes
+
+
+class TestPolicyBuilders:
+    def build(self, policy):
+        return policy.build(2_000_000, 1024, RandomStream(0))
+
+    def test_buddy(self):
+        assert isinstance(self.build(BuddyPolicy()), BinaryBuddyAllocator)
+
+    def test_restricted_default_is_selected_config(self):
+        allocator = self.build(SELECTED_RESTRICTED)
+        assert isinstance(allocator, RestrictedBuddyAllocator)
+        assert allocator.config.block_sizes_units == (1, 8, 64, 1024, 16384)
+        assert allocator.config.grow_factor == 1
+        assert allocator.config.clustered
+
+    def test_restricted_region_units(self):
+        allocator = self.build(RestrictedPolicy(block_sizes=("1K", "8K")))
+        assert allocator.config.region_units == 32 * 1024  # 32M / 1K
+
+    def test_extent_policy(self):
+        allocator = self.build(ExtentPolicy(range_means=("512K", "16M"), fit="best"))
+        assert isinstance(allocator, ExtentAllocator)
+        assert allocator.fit is FitPolicy.BEST_FIT
+        assert allocator.size_config.range_means_units == (512, 16384)
+
+    def test_fixed_policy(self):
+        allocator = self.build(FixedPolicy(block_size="16K"))
+        assert isinstance(allocator, FixedBlockAllocator)
+        assert allocator.block_units == 16
+
+    def test_labels(self):
+        assert "buddy" == BuddyPolicy().label
+        assert "restricted[5 sizes, g=1, clustered]" == SELECTED_RESTRICTED.label
+        assert "first-fit" in ExtentPolicy().label
+        assert "fixed[4K]" == FixedPolicy().label
+
+
+class TestPaperTables:
+    def test_restricted_ladders_match_paper(self):
+        assert RESTRICTED_LADDERS[2] == ("1K", "8K")
+        assert RESTRICTED_LADDERS[5] == ("1K", "8K", "64K", "1M", "16M")
+
+    def test_extent_ranges_match_paper(self):
+        assert EXTENT_RANGES_TS[3] == ("1K", "8K", "1M")
+        assert EXTENT_RANGES_TP_SC[5] == ("10K", "512K", "1M", "10M", "16M")
+
+    def test_extent_ranges_for_dispatch(self):
+        assert extent_ranges_for("TS", 1) == ("4K",)
+        assert extent_ranges_for("TP", 1) == ("512K",)
+        assert extent_ranges_for("SC", 2) == ("512K", "16M")
+        with pytest.raises(ConfigurationError):
+            extent_ranges_for("TS", 6)
+
+    def test_selected_configurations(self):
+        assert selected_extent("TP").range_means == ("512K", "1M", "16M")
+        assert selected_extent("TS").range_means == ("1K", "8K", "1M")
+        assert selected_fixed("TS").block_size == "4K"
+        assert selected_fixed("SC").block_size == "16K"
+
+    def test_experiment_config_describe(self):
+        config = ExperimentConfig(policy=BuddyPolicy(), workload="SC")
+        assert "buddy" in config.describe()
+        assert "SC" in config.describe()
+
+
+class TestQueueDiscipline:
+    def test_default_is_fcfs(self):
+        from repro.sim.engine import Simulator
+
+        array = SystemConfig(scale=0.02).build_array(Simulator())
+        assert all(d.discipline == "fcfs" for d in array.drives)
+
+    def test_elevator_threads_through(self):
+        from repro.sim.engine import Simulator
+
+        system = SystemConfig(scale=0.02, queue_discipline="elevator")
+        array = system.build_array(Simulator())
+        assert all(d.discipline == "elevator" for d in array.drives)

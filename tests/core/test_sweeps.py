@@ -1,0 +1,76 @@
+"""Tests for the figure sweeps (configuration generation + tiny runs)."""
+
+import pytest
+
+from repro.core.configs import SystemConfig
+from repro.core.sweeps import (
+    ExtentSweepPoint,
+    RestrictedSweepPoint,
+    extent_configurations,
+    restricted_configurations,
+    sweep_extent_fragmentation,
+    sweep_restricted_fragmentation,
+)
+
+TINY = SystemConfig(scale=0.02)
+
+
+class TestConfigurationGeneration:
+    def test_sixteen_restricted_configurations(self):
+        policies = restricted_configurations()
+        assert len(policies) == 16
+        # 4 ladders x 2 grow x 2 clusterings, grouped by ladder.
+        assert len({p.block_sizes for p in policies}) == 4
+        assert {p.grow_factor for p in policies} == {1, 2}
+        assert {p.clustered for p in policies} == {True, False}
+
+    def test_figure_order_within_group(self):
+        policies = restricted_configurations()
+        first_group = policies[:4]
+        assert [(p.grow_factor, p.clustered) for p in first_group] == [
+            (1, True), (2, True), (1, False), (2, False),
+        ]
+
+    def test_ten_extent_configurations(self):
+        policies = extent_configurations("TP")
+        assert len(policies) == 10
+        assert {len(p.range_means) for p in policies} == {1, 2, 3, 4, 5}
+        assert {p.fit for p in policies} == {"first", "best"}
+
+    def test_ts_uses_ts_ranges(self):
+        policies = extent_configurations("TS", fits=("first",))
+        assert policies[0].range_means == ("4K",)
+
+
+class TestSweepLabels:
+    def test_restricted_point_labels(self):
+        point = RestrictedSweepPoint("TS", 5, 2, False)
+        assert point.group_label == "5 sizes"
+        assert point.series_label == "g=2 unclustered"
+
+    def test_extent_point_labels(self):
+        point = ExtentSweepPoint("TP", 1, "best")
+        assert point.group_label == "1 range"
+        assert point.series_label == "best-fit"
+        assert ExtentSweepPoint("TP", 3, "first").group_label == "3 ranges"
+
+
+class TestTinySweeps:
+    """Run reduced sweeps end to end at minuscule scale."""
+
+    def test_restricted_fragmentation_sweep(self):
+        ladders = {2: ("1K", "8K"), 3: ("1K", "8K", "64K")}
+        points = sweep_restricted_fragmentation(
+            "SC", TINY, seed=2, ladders=ladders
+        )
+        assert len(points) == 8
+        for point in points:
+            assert point.allocation is not None
+            assert 0.0 <= point.allocation.fragmentation.internal_fraction < 1.0
+
+    def test_extent_fragmentation_sweep_first_fit_only(self):
+        points = sweep_extent_fragmentation("SC", TINY, seed=2, fits=("first",))
+        assert len(points) == 5
+        assert all(p.fit == "first" for p in points)
+        # Table 4 statistic is populated.
+        assert all(p.allocation.average_extents_per_file > 0 for p in points)

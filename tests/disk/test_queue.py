@@ -1,0 +1,177 @@
+"""Unit tests for the per-drive FCFS queue."""
+
+import pytest
+
+from repro.disk.geometry import WREN_IV
+from repro.disk.queue import QueuedDrive
+from repro.disk.request import DiskRequest, IoKind
+from repro.sim.engine import Simulator
+
+
+def read(start, length):
+    return DiskRequest(IoKind.READ, start, length)
+
+
+class TestFcfs:
+    def test_single_request_completes(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+        done = {}
+
+        def proc():
+            breakdown = yield drive.submit(read(0, 8192))
+            done["at"] = sim.now
+            done["breakdown"] = breakdown
+
+        sim.process(proc())
+        sim.run()
+        assert done["at"] == pytest.approx(done["breakdown"].total_ms)
+        assert drive.requests_served == 1
+        assert drive.bytes_moved == 8192
+
+    def test_requests_serialize_in_order(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+        finish = {}
+
+        def proc(tag, request):
+            yield drive.submit(request)
+            finish[tag] = sim.now
+
+        sim.process(proc("a", read(0, 8192)))
+        sim.process(proc("b", read(1_000_000, 8192)))
+        sim.run()
+        assert finish["a"] < finish["b"]
+        assert not drive.busy
+        assert drive.queue_depth == 0
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+
+        def proc():
+            yield drive.submit(read(0, 8192))
+            yield drive.submit(read(8192, 8192))
+
+        sim.process(proc())
+        sim.run()
+        assert drive.busy_ms == pytest.approx(sim.now)
+        assert drive.utilization(sim.now) == pytest.approx(1.0)
+
+    def test_queue_wait_measured(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+
+        def proc():
+            first = drive.submit(read(0, 24 * 1024))
+            second = drive.submit(read(10_000_000, 1024))
+            yield first
+            yield second
+
+        sim.process(proc())
+        sim.run()
+        assert drive.queue_wait.count == 2
+        assert drive.queue_wait.maximum > 0.0  # second waited behind first
+
+    def test_idle_utilization_zero(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+        assert drive.utilization(100.0) == 0.0
+        assert drive.utilization(0.0) == 0.0
+
+    def test_latency_tally(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+
+        def proc():
+            yield drive.submit(read(0, 1024))
+
+        sim.process(proc())
+        sim.run()
+        assert drive.latency.count == 1
+        assert drive.latency.mean > 0
+
+
+class TestDriveMetering:
+    def test_owner_meter_credited_per_request(self):
+        from repro.sim.meters import ThroughputMeter
+
+        class Owner:
+            meter = None
+
+        sim = Simulator()
+        owner = Owner()
+        owner.meter = ThroughputMeter(1e9, interval_ms=1e6)
+        drive = QueuedDrive(sim, WREN_IV, owner=owner)
+
+        def proc():
+            yield drive.submit(read(0, 8192))
+            yield drive.submit(read(8192, 8192))
+
+        sim.process(proc())
+        sim.run()
+        assert owner.meter.total_bytes == pytest.approx(16384)
+
+    def test_no_owner_no_crash(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+
+        def proc():
+            yield drive.submit(read(0, 1024))
+
+        sim.process(proc())
+        sim.run()
+        assert drive.requests_served == 1
+
+
+class TestElevator:
+    def _submit_spread(self, sim, drive, cylinders):
+        """Submit one 1K read per cylinder while the drive is busy."""
+        geometry = drive.geometry
+        order = []
+
+        def proc(cyl):
+            yield drive.submit(read(cyl * geometry.cylinder_bytes, 1024))
+            order.append(cyl)
+
+        # First request pins the head at cylinder 0 and occupies the drive
+        # while the rest queue up.
+        sim.process(proc(0))
+        for cyl in cylinders:
+            sim.process(proc(cyl))
+        sim.run()
+        return order
+
+    def test_elevator_serves_by_sweep(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV, discipline="elevator")
+        order = self._submit_spread(sim, drive, [900, 100, 500])
+        # After the pinning request at 0, the sweep ascends: 100, 500, 900.
+        assert order == [0, 100, 500, 900]
+
+    def test_fcfs_serves_in_arrival_order(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)  # default fcfs
+        order = self._submit_spread(sim, drive, [900, 100, 500])
+        assert order == [0, 900, 100, 500]
+
+    def test_elevator_reduces_total_seek_time(self):
+        def total_time(discipline):
+            sim = Simulator()
+            drive = QueuedDrive(sim, WREN_IV, discipline=discipline)
+
+            def proc(cyl):
+                yield drive.submit(read(cyl * WREN_IV.cylinder_bytes, 1024))
+
+            for cyl in (0, 1400, 10, 1300, 20, 1200, 30):
+                sim.process(proc(cyl))
+            sim.run()
+            return sim.now
+
+        assert total_time("elevator") < total_time("fcfs")
+
+    def test_unknown_discipline_raises(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            QueuedDrive(Simulator(), WREN_IV, discipline="sstf!")

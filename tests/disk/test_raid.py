@@ -1,0 +1,153 @@
+"""Unit tests for the redundant organizations: mirror, RAID-5, parity stripe."""
+
+import pytest
+
+from repro.disk.geometry import TINY_DISK
+from repro.disk.raid import MirroredArray, ParityStripedArray, Raid5Array
+from repro.disk.request import IoKind
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.units import KIB
+
+
+def run_transfer(sim, array, kind, start, units):
+    done = {}
+
+    def proc():
+        yield array.transfer(kind, start, units)
+        done["t"] = sim.now
+
+    sim.process(proc())
+    sim.run()
+    return done["t"]
+
+
+class TestMirrored:
+    def make(self, sim):
+        return MirroredArray(sim, TINY_DISK, 2, 24 * KIB, KIB)
+
+    def test_capacity_is_one_copy(self):
+        sim = Simulator()
+        mirror = self.make(sim)
+        assert mirror.capacity_bytes == mirror.primary.capacity_bytes
+
+    def test_write_goes_to_both_copies(self):
+        sim = Simulator()
+        mirror = self.make(sim)
+        run_transfer(sim, mirror, IoKind.WRITE, 0, 8)
+        assert mirror.primary.total_bytes_moved == 8 * KIB
+        assert mirror.secondary.total_bytes_moved == 8 * KIB
+
+    def test_reads_alternate_copies(self):
+        sim = Simulator()
+        mirror = self.make(sim)
+        run_transfer(sim, mirror, IoKind.READ, 0, 8)
+        run_transfer(sim, mirror, IoKind.READ, 0, 8)
+        assert mirror.primary.total_bytes_moved == 8 * KIB
+        assert mirror.secondary.total_bytes_moved == 8 * KIB
+
+    def test_read_bandwidth_counts_both_halves(self):
+        sim = Simulator()
+        mirror = self.make(sim)
+        assert mirror.max_bandwidth_bytes_per_ms == pytest.approx(
+            2 * mirror.primary.max_bandwidth_bytes_per_ms
+        )
+
+
+class TestRaid5:
+    def make(self, sim, n=5):
+        return Raid5Array(sim, TINY_DISK, n, 24 * KIB, KIB)
+
+    def test_capacity_excludes_parity(self):
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        per_drive = TINY_DISK.capacity_bytes - (
+            TINY_DISK.capacity_bytes % (24 * KIB)
+        )
+        assert raid.capacity_bytes == per_drive * 4
+
+    def test_too_few_drives_raises(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            Raid5Array(sim, TINY_DISK, 2, 24 * KIB, KIB)
+
+    def test_parity_rotates(self):
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        assert raid._parity_drive_of_row(0) == 0
+        assert raid._parity_drive_of_row(1) == 1
+        assert raid._parity_drive_of_row(5) == 0
+
+    def test_locate_skips_parity_drive(self):
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        stripe_units = 24  # 24K stripe / 1K unit
+        drives = {raid.locate_unit(i * stripe_units)[0] for i in range(4)}
+        # Row 0's parity drive is 0, so data occupies drives 1..4.
+        assert drives == {1, 2, 3, 4}
+
+    def test_small_write_is_read_modify_write(self):
+        """A sub-stripe write costs 4 I/Os (2 reads + 2 writes)."""
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        run_transfer(sim, raid, IoKind.WRITE, 0, 4)
+        total_requests = sum(d.requests_served for d in raid.drives)
+        assert total_requests == 4
+
+    def test_full_stripe_write_is_n_plus_one(self):
+        """A full-row write costs one write per drive (parity for free)."""
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        stripe_units = 24
+        run_transfer(sim, raid, IoKind.WRITE, 0, 4 * stripe_units)
+        total_requests = sum(d.requests_served for d in raid.drives)
+        assert total_requests == 5
+        assert all(d.requests_served == 1 for d in raid.drives)
+
+    def test_read_has_no_parity_overhead(self):
+        sim = Simulator()
+        raid = self.make(sim, 5)
+        run_transfer(sim, raid, IoKind.READ, 0, 4)
+        total_requests = sum(d.requests_served for d in raid.drives)
+        assert total_requests == 1
+
+    def test_small_write_slower_than_read(self):
+        """The paper's future-work point: RAID hurts small writes."""
+        sim_read = Simulator()
+        raid_read = self.make(sim_read, 5)
+        t_read = run_transfer(sim_read, raid_read, IoKind.READ, 0, 4)
+
+        sim_write = Simulator()
+        raid_write = self.make(sim_write, 5)
+        t_write = run_transfer(sim_write, raid_write, IoKind.WRITE, 0, 4)
+        assert t_write > t_read
+
+
+class TestParityStriped:
+    def make(self, sim, n=4):
+        return ParityStripedArray(sim, TINY_DISK, n, KIB)
+
+    def test_capacity_reserves_parity_share(self):
+        sim = Simulator()
+        array = self.make(sim, 4)
+        assert array.capacity_bytes == int(
+            TINY_DISK.capacity_bytes * 4 * (3 / 4)
+        )
+
+    def test_read_touches_single_drive(self):
+        sim = Simulator()
+        array = self.make(sim)
+        run_transfer(sim, array, IoKind.READ, 0, 16)
+        assert sum(1 for d in array.drives if d.requests_served) == 1
+
+    def test_write_updates_neighbour_parity(self):
+        sim = Simulator()
+        array = self.make(sim)
+        run_transfer(sim, array, IoKind.WRITE, 0, 16)
+        touched = [i for i, d in enumerate(array.drives) if d.requests_served]
+        assert touched == [0, 1]  # data on 0, parity RMW on 1
+
+    def test_too_few_drives_raises(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            ParityStripedArray(sim, TINY_DISK, 1, KIB)

@@ -1,0 +1,82 @@
+"""Unit tests for the logical-to-physical extent map."""
+
+import pytest
+
+from repro.alloc.base import AllocFile, Extent
+from repro.errors import FileSystemError
+from repro.fs.extmap import ExtentMap
+
+
+def make_handle(extents):
+    handle = AllocFile(file_id=1)
+    handle.extents = [Extent(s, l) for s, l in extents]
+    return handle
+
+
+class TestLocate:
+    def test_locate_within_extents(self):
+        handle = make_handle([(100, 10), (500, 20)])
+        emap = ExtentMap(handle)
+        assert emap.locate(0) == (0, 0)
+        assert emap.locate(9) == (0, 9)
+        assert emap.locate(10) == (1, 0)
+        assert emap.locate(29) == (1, 19)
+
+    def test_locate_out_of_range_raises(self):
+        emap = ExtentMap(make_handle([(0, 10)]))
+        with pytest.raises(FileSystemError):
+            emap.locate(10)
+        with pytest.raises(FileSystemError):
+            emap.locate(-1)
+
+    def test_total_units(self):
+        assert ExtentMap(make_handle([(0, 3), (9, 7)])).total_units == 10
+        assert ExtentMap(make_handle([])).total_units == 0
+
+
+class TestRuns:
+    def test_single_extent_run(self):
+        emap = ExtentMap(make_handle([(100, 50)]))
+        assert emap.runs(5, 10) == [(105, 10)]
+
+    def test_adjacent_extents_merge(self):
+        emap = ExtentMap(make_handle([(100, 10), (110, 10), (120, 10)]))
+        assert emap.runs(0, 30) == [(100, 30)]
+
+    def test_discontiguous_extents_split(self):
+        emap = ExtentMap(make_handle([(100, 10), (500, 10)]))
+        assert emap.runs(5, 10) == [(105, 5), (500, 5)]
+
+    def test_range_past_end_raises(self):
+        emap = ExtentMap(make_handle([(0, 10)]))
+        with pytest.raises(FileSystemError):
+            emap.runs(5, 6)
+
+    def test_non_positive_range_raises(self):
+        emap = ExtentMap(make_handle([(0, 10)]))
+        with pytest.raises(FileSystemError):
+            emap.runs(0, 0)
+
+
+class TestSync:
+    def test_sync_append(self):
+        handle = make_handle([(0, 10)])
+        emap = ExtentMap(handle)
+        added = [Extent(50, 5)]
+        handle.extents.extend(added)
+        emap.sync_append(added)
+        assert emap.total_units == 15
+        assert emap.locate(12) == (1, 2)
+
+    def test_sync_append_mismatch_raises(self):
+        handle = make_handle([(0, 10)])
+        emap = ExtentMap(handle)
+        with pytest.raises(FileSystemError):
+            emap.sync_append([Extent(50, 5)])  # handle not actually grown
+
+    def test_sync_truncate(self):
+        handle = make_handle([(0, 10), (50, 5)])
+        emap = ExtentMap(handle)
+        handle.extents.pop()
+        emap.sync_truncate()
+        assert emap.total_units == 10

@@ -1,0 +1,255 @@
+"""Unit tests for the file-system layer on a real simulated disk."""
+
+import pytest
+
+from repro.alloc.extent import ExtentAllocator, ExtentSizeConfig, FitPolicy
+from repro.alloc.fixed import FixedBlockAllocator
+from repro.disk.array import StripedArray
+from repro.disk.geometry import TINY_DISK
+from repro.errors import DiskFullError, FileSystemError
+from repro.fs.filesystem import FileSystem
+from repro.sim.engine import Simulator
+from repro.sim.meters import ThroughputMeter
+from repro.sim.rng import RandomStream
+from repro.units import KIB
+
+
+def make_fs(sim=None, allocator_factory=None):
+    sim = sim or Simulator()
+    array = StripedArray(sim, TINY_DISK, 4, 24 * KIB, KIB)
+    if allocator_factory is None:
+        allocator = ExtentAllocator(
+            array.capacity_units,
+            ExtentSizeConfig(range_means_units=(16,)),
+            FitPolicy.FIRST_FIT,
+            RandomStream(1),
+        )
+    else:
+        allocator = allocator_factory(array.capacity_units)
+    return sim, FileSystem(sim, array, allocator)
+
+
+def run(sim, generator):
+    holder = {}
+
+    def wrapper():
+        holder["result"] = yield from generator
+
+    sim.process(wrapper())
+    sim.run()
+    return holder["result"]
+
+
+class TestLifecycle:
+    def test_create_and_allocate_to(self):
+        sim, fs = make_fs()
+        f = fs.create(size_hint_bytes=32 * KIB, tag="t")
+        fs.allocate_to(f, 32 * KIB)
+        assert f.length_bytes == 32 * KIB
+        assert f.allocated_units >= 32
+
+    def test_allocate_to_never_shrinks_length(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 10 * KIB)
+        fs.allocate_to(f, 5 * KIB)
+        assert f.length_bytes == 10 * KIB
+
+    def test_delete_frees_everything(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 64 * KIB)
+        allocated = fs.allocator.allocated_units
+        assert allocated > 0
+        fs.delete(f)
+        assert fs.allocator.allocated_units == 0
+        with pytest.raises(FileSystemError):
+            fs.truncate(f, 1)
+
+    def test_truncate_shortens_and_frees(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 64 * KIB)
+        removed = fs.truncate(f, 16 * KIB)
+        assert removed == 16 * KIB
+        assert f.length_bytes == 48 * KIB
+
+    def test_truncate_clamps_to_length(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 8 * KIB)
+        assert fs.truncate(f, 100 * KIB) == 8 * KIB
+        assert f.length_bytes == 0
+
+    def test_live_files_listing(self):
+        sim, fs = make_fs()
+        a, b = fs.create(), fs.create()
+        assert [x.fs_id for x in fs.live_files()] == [a.fs_id, b.fs_id]
+
+
+class TestIo:
+    def test_read_takes_simulated_time(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 64 * KIB)
+        assert sim.now == 0.0
+        n = run(sim, fs.read(f, 0, 8 * KIB))
+        assert n == 8 * KIB
+        assert sim.now > 0.0
+        assert fs.bytes_read == 8 * KIB
+
+    def test_read_clamps_to_eof(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 4 * KIB)
+        n = run(sim, fs.read(f, 2 * KIB, 100 * KIB))
+        assert n == 2 * KIB
+
+    def test_read_past_eof_returns_zero_instantly(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 4 * KIB)
+        n = run(sim, fs.read(f, 8 * KIB, KIB))
+        assert n == 0
+        assert sim.now == 0.0
+
+    def test_write_within_file(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 16 * KIB)
+        n = run(sim, fs.write(f, 0, 4 * KIB))
+        assert n == 4 * KIB
+        assert fs.bytes_written == 4 * KIB
+
+    def test_write_past_eof_grows_file(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 8 * KIB)
+        run(sim, fs.write(f, 6 * KIB, 6 * KIB))
+        assert f.length_bytes == 12 * KIB
+
+    def test_write_far_past_eof_appends_without_hole(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 4 * KIB)
+        run(sim, fs.write(f, 100 * KIB, 4 * KIB))
+        assert f.length_bytes == 8 * KIB  # offset clamped to EOF
+
+    def test_extend_appends(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 4 * KIB)
+        n = run(sim, fs.extend(f, 8 * KIB))
+        assert n == 8 * KIB
+        assert f.length_bytes == 12 * KIB
+
+    def test_read_whole_and_write_whole(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 40 * KIB)
+        assert run(sim, fs.read_whole(f)) == 40 * KIB
+        assert run(sim, fs.write_whole(f)) == 40 * KIB
+
+    def test_write_whole_empty_file_is_noop(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        assert run(sim, fs.write_whole(f)) == 0
+
+    def test_bad_arguments_raise(self):
+        sim, fs = make_fs()
+        f = fs.create()
+        fs.allocate_to(f, 4 * KIB)
+        with pytest.raises(FileSystemError):
+            run(sim, fs.read(f, -1, 10))
+        with pytest.raises(FileSystemError):
+            run(sim, fs.write(f, 0, 0))
+        with pytest.raises(FileSystemError):
+            run(sim, fs.extend(f, -5))
+
+    def test_meter_records_transfers(self):
+        sim, fs = make_fs()
+        meter = ThroughputMeter(1000.0, interval_ms=10.0)
+        fs.meter = meter
+        f = fs.create()
+        fs.allocate_to(f, 8 * KIB)
+        run(sim, fs.read(f, 0, 8 * KIB))
+        assert meter.total_bytes == 8 * KIB
+
+    def test_disk_full_propagates_from_write(self):
+        sim, fs = make_fs(
+            allocator_factory=lambda units: FixedBlockAllocator(units, 4)
+        )
+        f = fs.create()
+        with pytest.raises(DiskFullError):
+            fs.allocate_to(f, 10**12)
+
+
+class TestFragmentationView:
+    def test_fragmentation_uses_lengths(self):
+        sim, fs = make_fs(
+            allocator_factory=lambda units: FixedBlockAllocator(units, 4)
+        )
+        f = fs.create()
+        fs.allocate_to(f, KIB)  # 1K in a 4K block
+        report = fs.fragmentation()
+        assert report.internal_fraction == pytest.approx(3 / 8)
+
+    def test_utilization_tracks_allocator(self):
+        sim, fs = make_fs()
+        assert fs.utilization == 0.0
+        f = fs.create()
+        fs.allocate_to(f, 100 * KIB)
+        assert fs.utilization > 0.0
+
+
+class TestWriteBehind:
+    def make_wb_fs(self):
+        sim = Simulator()
+        array = StripedArray(sim, TINY_DISK, 4, 24 * KIB, KIB)
+        allocator = ExtentAllocator(
+            array.capacity_units,
+            ExtentSizeConfig(range_means_units=(16,)),
+            FitPolicy.FIRST_FIT,
+            RandomStream(1),
+        )
+        return sim, FileSystem(sim, array, allocator, write_behind=True)
+
+    def test_write_returns_instantly(self):
+        sim, fs = self.make_wb_fs()
+        f = fs.create()
+        fs.allocate_to(f, 64 * KIB)
+        n = run(sim, fs.write(f, 0, 32 * KIB))
+        # The write "completed" for the caller without simulated delay...
+        assert n == 32 * KIB
+        # ...but the disks still have the work queued/running.
+        sim.run()
+        assert fs.disk.total_bytes_moved >= 32 * KIB
+
+    def test_reads_still_wait(self):
+        sim, fs = self.make_wb_fs()
+        f = fs.create()
+        fs.allocate_to(f, 16 * KIB)
+        run(sim, fs.read(f, 0, 8 * KIB))
+        assert sim.now > 0.0
+
+    def test_write_behind_overlaps_thinking(self):
+        """A burst of writes costs (almost) nothing in caller time but
+        serializes on the drives: classic write-behind overlap."""
+        sim, fs = self.make_wb_fs()
+        f = fs.create()
+        fs.allocate_to(f, 256 * KIB)
+
+        def burst():
+            for offset in range(0, 256 * KIB, 32 * KIB):
+                yield from fs.write(f, offset, 32 * KIB)
+            return sim.now
+
+        holder = {}
+
+        def wrapper():
+            holder["caller_done"] = yield from burst()
+
+        sim.process(wrapper())
+        sim.run()
+        assert holder["caller_done"] < 1.0  # caller never blocked
+        assert sim.now > 10.0  # the drives worked long after

@@ -1,0 +1,56 @@
+"""Determinism matrix: every policy × workload replays exactly per seed.
+
+Reproducibility is a deliverable of a simulation study: the same seed
+must give bit-identical fragmentation AND throughput numbers for every
+(policy, workload) combination, and different seeds must actually change
+the stochastic stream.
+"""
+
+import pytest
+
+from repro.core.configs import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from repro.core.experiments import (
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+
+TINY = SystemConfig(scale=0.03)
+
+POLICIES = [
+    BuddyPolicy(),
+    RestrictedPolicy(block_sizes=("1K", "8K", "64K")),
+    ExtentPolicy(range_means=("64K", "1M")),
+    FixedPolicy("4K"),
+]
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.label)
+@pytest.mark.parametrize("workload", ["SC", "TS"])
+def test_allocation_replay(policy, workload):
+    config = ExperimentConfig(
+        policy=policy, workload=workload, system=TINY, seed=99
+    )
+    first = run_allocation_experiment(config, max_operations=300_000)
+    second = run_allocation_experiment(config, max_operations=300_000)
+    assert first.fragmentation == second.fragmentation
+    assert first.operations == second.operations
+    assert first.average_extents_per_file == second.average_extents_per_file
+
+
+@pytest.mark.parametrize("policy", POLICIES[:2], ids=lambda p: p.label)
+def test_performance_replay(policy):
+    config = ExperimentConfig(policy=policy, workload="SC", system=TINY, seed=5)
+    runs = [
+        run_performance_experiment(config, app_cap_ms=15_000, seq_cap_ms=15_000)
+        for _ in range(2)
+    ]
+    assert runs[0].application.utilization == runs[1].application.utilization
+    assert runs[0].sequential.utilization == runs[1].sequential.utilization
+    assert runs[0].operation_counts == runs[1].operation_counts

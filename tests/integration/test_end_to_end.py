@@ -1,0 +1,139 @@
+"""End-to-end integration tests: whole experiments, paper-shape assertions.
+
+These run at small scale (a few percent of the paper's disk) but assert
+the *relationships* the paper reports, which is what reproduction means
+here: who wins, in which direction, on which workload.
+"""
+
+import pytest
+
+from repro.core.comparison import selected_policies
+from repro.core.configs import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from repro.core.experiments import (
+    run_allocation_experiment,
+    run_performance_experiment,
+)
+
+SMALL = SystemConfig(scale=0.04)
+CAPS = dict(app_cap_ms=50_000, seq_cap_ms=50_000)
+
+
+@pytest.fixture(scope="module")
+def sc_results():
+    """Run the four selected policies on SC once, reuse across asserts."""
+    results = {}
+    for policy in selected_policies("SC"):
+        config = ExperimentConfig(policy=policy, workload="SC", system=SMALL, seed=9)
+        results[policy.label] = run_performance_experiment(config, **CAPS)
+    return results
+
+
+class TestFigure6Shapes:
+    def test_multiblock_policies_beat_fixed_sequentially(self, sc_results):
+        fixed = sc_results["fixed[16K]"].sequential.utilization
+        for label, result in sc_results.items():
+            if label.startswith("fixed"):
+                continue
+            assert result.sequential.utilization > fixed, label
+
+    def test_sc_sequential_near_max_for_multiblock(self, sc_results):
+        for label, result in sc_results.items():
+            if label.startswith("fixed"):
+                continue
+            assert result.sequential.utilization > 0.6, label
+
+    def test_application_below_sequential_on_sc(self, sc_results):
+        for label, result in sc_results.items():
+            assert (
+                result.application.utilization <= result.sequential.utilization + 0.05
+            ), label
+
+
+class TestTable3Shapes:
+    def test_buddy_internal_fragmentation_is_severe_on_sc(self):
+        result = run_allocation_experiment(
+            ExperimentConfig(policy=BuddyPolicy(), workload="SC", system=SMALL)
+        )
+        assert result.fragmentation.internal_fraction > 0.20
+
+    def test_restricted_external_fragmentation_is_small(self):
+        result = run_allocation_experiment(
+            ExperimentConfig(policy=RestrictedPolicy(), workload="TP", system=SMALL)
+        )
+        assert result.fragmentation.external_fraction < 0.10
+
+
+class TestGrowFactorShape:
+    def test_grow_two_reduces_ts_internal_fragmentation(self):
+        """Figure 1f: grow factor 2 cuts TS internal frag vs grow factor 1."""
+        outcomes = {}
+        for grow in (1, 2):
+            policy = RestrictedPolicy(
+                block_sizes=("1K", "8K", "64K"), grow_factor=grow
+            )
+            config = ExperimentConfig(
+                policy=policy, workload="TS", system=SMALL, seed=13
+            )
+            outcomes[grow] = run_allocation_experiment(
+                config
+            ).fragmentation.internal_fraction
+        assert outcomes[2] < outcomes[1]
+
+
+class TestDeterminism:
+    def test_full_performance_run_is_reproducible(self):
+        config = ExperimentConfig(
+            policy=ExtentPolicy(), workload="SC", system=SMALL, seed=21
+        )
+        first = run_performance_experiment(config, app_cap_ms=30_000, seq_cap_ms=20_000)
+        second = run_performance_experiment(config, app_cap_ms=30_000, seq_cap_ms=20_000)
+        assert first.application.utilization == second.application.utilization
+        assert first.sequential.utilization == second.sequential.utilization
+        assert first.operation_counts == second.operation_counts
+
+    def test_different_seeds_differ(self):
+        results = []
+        for seed in (1, 2):
+            config = ExperimentConfig(
+                policy=ExtentPolicy(), workload="SC", system=SMALL, seed=seed
+            )
+            results.append(
+                run_performance_experiment(
+                    config, app_cap_ms=20_000, seq_cap_ms=10_000
+                ).operation_counts
+            )
+        assert results[0] != results[1]
+
+
+class TestInvariantsUnderFullWorkload:
+    def test_no_overlap_after_performance_run(self):
+        """Re-run the core of an experiment and check allocator health."""
+        from repro.fs.filesystem import FileSystem
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStream
+        from repro.workload.driver import WorkloadDriver
+        from repro.workload.profiles import supercomputer
+
+        sim = Simulator()
+        array = SMALL.build_array(sim)
+        allocator = RestrictedPolicy().build(
+            array.capacity_units, SMALL.disk_unit_bytes, RandomStream(5)
+        )
+        fs = FileSystem(sim, array, allocator)
+        driver = WorkloadDriver(sim, fs, supercomputer(scale=SMALL.scale), seed=5)
+        driver.populate()
+        driver.start_users()
+        sim.run(until=30_000)
+        allocator.check_no_overlap()
+        allocator.check_free_space()
+        # Transient allocation failures are logged-and-rescheduled, not
+        # fatal; the system must still be heavily utilized and healthy.
+        assert fs.utilization > 0.5
+        assert driver.disk_full_events < 100

@@ -1,0 +1,54 @@
+"""Unit tests for the text bar-chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report.figures import GroupedBarChart, render_bar
+
+
+class TestRenderBar:
+    def test_full_and_empty(self):
+        assert render_bar(10, 10, width=10) == "█" * 10
+        assert render_bar(0, 10, width=10) == "·" * 10
+
+    def test_half(self):
+        assert render_bar(5, 10, width=10) == "█" * 5 + "·" * 5
+
+    def test_clamps_above_maximum(self):
+        assert render_bar(20, 10, width=10) == "█" * 10
+
+    def test_zero_maximum_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_bar(1, 0)
+
+
+class TestGroupedBarChart:
+    def test_renders_groups_and_series(self):
+        chart = GroupedBarChart("Fig X", value_format="{:.1f}%")
+        chart.add("2 sizes", "g=1", 4.0)
+        chart.add("2 sizes", "g=2", 2.0)
+        chart.add("3 sizes", "g=1", 6.0)
+        rendered = chart.render()
+        assert rendered.startswith("Fig X")
+        assert "2 sizes" in rendered
+        assert "3 sizes" in rendered
+        assert "4.0%" in rendered
+        assert rendered.index("2 sizes") < rendered.index("3 sizes")
+
+    def test_empty_chart(self):
+        assert "(no data)" in GroupedBarChart("empty").render()
+
+    def test_shared_scale(self):
+        chart = GroupedBarChart("t")
+        chart.add("g", "big", 100.0)
+        chart.add("g", "small", 50.0)
+        lines = chart.render().splitlines()
+        big_bar = lines[2].count("█")
+        small_bar = lines[3].count("█")
+        assert big_bar == 2 * small_bar
+
+    def test_explicit_maximum(self):
+        chart = GroupedBarChart("t", maximum=100.0)
+        chart.add("g", "s", 50.0)
+        line = chart.render().splitlines()[2]
+        assert line.count("█") == pytest.approx(20, abs=1)

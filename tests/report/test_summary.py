@@ -1,0 +1,51 @@
+"""Tests for the experiment dossier renderer."""
+
+from repro.core.experiments import PerformanceResult, PhaseResult
+from repro.report.summary import (
+    render_performance_summary,
+    render_policy_comparison,
+)
+
+
+def make_result(policy="extent[3 ranges, first-fit]", workload="TP",
+                app=0.17, seq=0.94):
+    return PerformanceResult(
+        policy_label=policy,
+        workload=workload,
+        application=PhaseResult(app, False, 90_000.0, 1.5e8),
+        sequential=PhaseResult(seq, True, 60_000.0, 5.9e8),
+        final_utilization=0.93,
+        operation_counts={"read": 900, "write": 450, "extend": 70},
+        operation_latency_ms={"read": 31.2, "write": 28.9, "extend": 12.0},
+        disk_full_events=0,
+        governor_conversions=12,
+    )
+
+
+class TestPerformanceSummary:
+    def test_contains_all_sections(self):
+        text = render_performance_summary(make_result())
+        assert "extent[3 ranges, first-fit] / TP" in text
+        assert "application" in text and "sequential" in text
+        assert "17.0%" in text and "94.0%" in text
+        assert "read" in text and "31.2" in text
+        assert "final utilization : 93.0%" in text
+        assert "governor converts : 12" in text
+
+    def test_missing_latency_renders_zero(self):
+        result = make_result()
+        result.operation_counts["truncate"] = 5
+        text = render_performance_summary(result)
+        assert "truncate" in text
+
+
+class TestPolicyComparison:
+    def test_groups_by_workload(self):
+        results = [
+            make_result(policy="buddy", workload="SC", seq=0.95),
+            make_result(policy="fixed[16K]", workload="SC", seq=0.32),
+            make_result(policy="buddy", workload="TS", seq=0.14),
+        ]
+        text = render_policy_comparison(results, title="t")
+        assert text.index("SC") < text.index("TS")
+        assert "95.0%" in text and "32.0%" in text

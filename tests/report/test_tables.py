@@ -1,0 +1,44 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report.tables import Table, percent
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["Name", "Value"], title="T")
+        table.add_row(["a", 1.0])
+        table.add_row(["long-name", 123.456])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # All data rows the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_floats_formatted(self):
+        table = Table(["x"])
+        table.add_row([3.14159])
+        assert "3.1" in table.render()
+
+    def test_row_length_mismatch_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row([1])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            Table([])
+
+    def test_no_title(self):
+        table = Table(["a"])
+        table.add_row([1])
+        assert not table.render().startswith("\n")
+
+
+def test_percent():
+    assert percent(0.123) == "12.3%"
+    assert percent(0.5, decimals=0) == "50%"

@@ -1,0 +1,69 @@
+"""Unit tests for the event heap."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHeap
+
+
+def make_callback(log, tag):
+    def callback(sim):
+        log.append(tag)
+
+    return callback
+
+
+class TestEventHeap:
+    def test_pop_orders_by_time(self):
+        heap = EventHeap()
+        log = []
+        heap.push(5.0, make_callback(log, "b"))
+        heap.push(1.0, make_callback(log, "a"))
+        heap.push(9.0, make_callback(log, "c"))
+        times = [heap.pop().time for _ in range(3)]
+        assert times == [1.0, 5.0, 9.0]
+
+    def test_ties_break_fifo(self):
+        heap = EventHeap()
+        first = heap.push(3.0, lambda sim: None)
+        second = heap.push(3.0, lambda sim: None)
+        assert heap.pop() is first
+        assert heap.pop() is second
+
+    def test_len_counts_live_events(self):
+        heap = EventHeap()
+        heap.push(1.0, lambda sim: None)
+        event = heap.push(2.0, lambda sim: None)
+        assert len(heap) == 2
+        event.cancel()
+        heap.note_cancelled()
+        assert len(heap) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        heap = EventHeap()
+        first = heap.push(1.0, lambda sim: None)
+        second = heap.push(2.0, lambda sim: None)
+        first.cancel()
+        heap.note_cancelled()
+        assert heap.pop() is second
+
+    def test_pop_empty_raises(self):
+        heap = EventHeap()
+        with pytest.raises(SimulationError):
+            heap.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        heap = EventHeap()
+        first = heap.push(1.0, lambda sim: None)
+        heap.push(4.0, lambda sim: None)
+        first.cancel()
+        heap.note_cancelled()
+        assert heap.peek_time() == 4.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventHeap().peek_time() is None
+
+    def test_cancel_bookkeeping_underflow_raises(self):
+        heap = EventHeap()
+        with pytest.raises(SimulationError):
+            heap.note_cancelled()

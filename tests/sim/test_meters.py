@@ -1,0 +1,136 @@
+"""Unit tests for the throughput meter and the stabilization rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.meters import ThroughputMeter
+
+
+def make_meter(max_rate=100.0, interval=10.0, start=0.0):
+    return ThroughputMeter(max_rate, interval_ms=interval, start_time=start)
+
+
+class TestRecording:
+    def test_bytes_bucket_into_intervals(self):
+        meter = make_meter()
+        meter.record(1.0, 500)
+        meter.record(9.9, 500)
+        meter.record(10.1, 300)
+        assert meter.interval_utilizations(20.0) == [1.0, 0.3]
+
+    def test_records_before_start_ignored(self):
+        meter = make_meter(start=100.0)
+        meter.record(50.0, 999)
+        assert meter.total_bytes == 0
+
+    def test_negative_bytes_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_meter().record(1.0, -1)
+
+    def test_bad_construction_raises(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMeter(0.0)
+        with pytest.raises(ConfigurationError):
+            ThroughputMeter(1.0, interval_ms=0.0)
+
+    def test_partial_interval_excluded(self):
+        meter = make_meter()
+        meter.record(5.0, 1000)
+        assert meter.interval_utilizations(5.0) == []
+        assert meter.interval_utilizations(10.0) == [1.0]
+
+    def test_cumulative_utilization(self):
+        meter = make_meter()
+        meter.record(5.0, 500)
+        assert meter.cumulative_utilization(10.0) == pytest.approx(0.5)
+
+    def test_cumulative_before_start_is_zero(self):
+        meter = make_meter(start=10.0)
+        assert meter.cumulative_utilization(5.0) == 0.0
+
+
+class TestStabilization:
+    def test_needs_full_window(self):
+        meter = make_meter()
+        meter.record(5.0, 500)
+        meter.record(15.0, 500)
+        assert not meter.stabilized(20.0)  # only two complete intervals
+
+    def test_fires_when_flat(self):
+        meter = make_meter()
+        for interval in range(3):
+            meter.record(interval * 10.0 + 5.0, 500)
+        assert meter.stabilized(30.0)
+
+    def test_rejects_drift_beyond_tolerance(self):
+        meter = make_meter()
+        meter.record(5.0, 500)
+        meter.record(15.0, 500)
+        meter.record(25.0, 530)  # 3 percentage points off
+        assert not meter.stabilized(30.0)
+
+    def test_accepts_drift_within_tolerance(self):
+        meter = make_meter()
+        meter.record(5.0, 5000)
+        meter.record(15.0, 5000)
+        meter.record(25.0, 5000)
+        # 0.1% of capacity per interval = 1 byte at rate 100 B/ms * 10 ms...
+        assert meter.stabilized(30.0, tolerance=0.001)
+
+    def test_stable_utilization_is_window_mean(self):
+        meter = make_meter()
+        for interval, amount in enumerate((100, 400, 500, 600)):
+            meter.record(interval * 10.0 + 5.0, amount)
+        assert meter.stable_utilization(40.0) == pytest.approx(0.5)
+
+    def test_stable_utilization_falls_back_to_cumulative(self):
+        meter = make_meter()
+        meter.record(5.0, 500)
+        assert meter.stable_utilization(10.0) == pytest.approx(0.5)
+
+    def test_empty_intervals_count_as_zero_throughput(self):
+        meter = make_meter()
+        meter.record(35.0, 100)
+        assert meter.interval_utilizations(40.0) == [0.0, 0.0, 0.0, 0.1]
+
+
+class TestRecordSpan:
+    def test_span_spreads_over_intervals(self):
+        meter = make_meter()
+        meter.record_span(0.0, 20.0, 1000)  # two intervals, 500 each
+        assert meter.interval_utilizations(20.0) == [0.5, 0.5]
+        assert meter.total_bytes == pytest.approx(1000)
+
+    def test_span_partial_intervals(self):
+        meter = make_meter()
+        meter.record_span(5.0, 15.0, 1000)  # half in each interval
+        utils = meter.interval_utilizations(20.0)
+        assert utils[0] == pytest.approx(0.5)
+        assert utils[1] == pytest.approx(0.5)
+
+    def test_span_before_start_clipped(self):
+        meter = make_meter(start=10.0)
+        meter.record_span(0.0, 20.0, 1000)  # only the second half counts
+        assert meter.total_bytes == pytest.approx(500)
+        assert meter.interval_utilizations(20.0) == [pytest.approx(0.5)]
+
+    def test_span_entirely_before_start_ignored(self):
+        meter = make_meter(start=100.0)
+        meter.record_span(0.0, 50.0, 999)
+        assert meter.total_bytes == 0
+
+    def test_zero_length_span_counts_as_point(self):
+        meter = make_meter()
+        meter.record_span(5.0, 5.0, 100)
+        assert meter.total_bytes == 100
+
+    def test_inverted_span_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_meter().record_span(10.0, 5.0, 100)
+
+    def test_long_span_never_exceeds_capacity_per_interval(self):
+        meter = make_meter(max_rate=100.0)
+        # 100 B/ms for 50 ms = exactly the capacity in each interval.
+        meter.record_span(0.0, 50.0, 5000)
+        for utilization in meter.interval_utilizations(50.0):
+            assert utilization <= 1.0 + 1e-9

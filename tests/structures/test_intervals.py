@@ -1,0 +1,197 @@
+"""Unit + property tests for the coalescing free-extent map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.structures.intervals import FreeExtentMap
+
+
+class TestAllocation:
+    def test_initially_one_interval(self):
+        fmap = FreeExtentMap(100)
+        assert list(fmap.intervals()) == [(0, 100)]
+        assert fmap.free_units == 100
+
+    def test_first_fit_takes_lowest(self):
+        fmap = FreeExtentMap(100)
+        assert fmap.take_first_fit(10) == 0
+        assert fmap.take_first_fit(10) == 10
+
+    def test_first_fit_skips_small_holes(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(0, 100)
+        fmap.release(0, 5)       # small hole at 0
+        fmap.release(20, 50)     # big hole at 20
+        assert fmap.take_first_fit(10) == 20
+
+    def test_best_fit_takes_smallest_adequate(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(0, 100)
+        fmap.release(0, 30)
+        fmap.release(50, 12)
+        assert fmap.take_best_fit(10) == 50
+        fmap.check_invariants()
+
+    def test_best_fit_tie_lowest_address(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(0, 100)
+        fmap.release(60, 10)
+        fmap.release(20, 10)
+        assert fmap.take_best_fit(10) == 20
+
+    def test_allocation_failure_returns_none(self):
+        fmap = FreeExtentMap(10)
+        assert fmap.take_first_fit(11) is None
+        assert fmap.take_best_fit(11) is None
+
+    def test_take_at_exact(self):
+        fmap = FreeExtentMap(100)
+        assert fmap.take_at(40, 20)
+        assert not fmap.is_free(40, 1)
+        assert fmap.is_free(39, 1)
+        assert fmap.is_free(60, 1)
+        fmap.check_invariants()
+
+    def test_take_at_occupied_fails(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(40, 20)
+        assert not fmap.take_at(45, 5)
+
+    def test_non_positive_requests_raise(self):
+        fmap = FreeExtentMap(10)
+        with pytest.raises(SimulationError):
+            fmap.take_first_fit(0)
+        with pytest.raises(SimulationError):
+            fmap.take_best_fit(-1)
+
+
+class TestRelease:
+    def test_release_coalesces_both_sides(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(0, 100)
+        fmap.release(0, 10)
+        fmap.release(20, 10)
+        fmap.release(10, 10)  # bridges the two
+        assert list(fmap.intervals()) == [(0, 30)]
+        fmap.check_invariants()
+
+    def test_release_everything_restores_full(self):
+        fmap = FreeExtentMap(100)
+        starts = [fmap.take_first_fit(10) for _ in range(10)]
+        for start in reversed(starts):
+            fmap.release(start, 10)
+        assert list(fmap.intervals()) == [(0, 100)]
+
+    def test_double_free_raises(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(10, 10)
+        fmap.release(10, 10)
+        with pytest.raises(SimulationError):
+            fmap.release(10, 10)
+
+    def test_overlapping_free_raises(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(10, 20)
+        fmap.release(10, 10)
+        with pytest.raises(SimulationError):
+            fmap.release(15, 10)
+
+    def test_release_outside_capacity_raises(self):
+        fmap = FreeExtentMap(100)
+        with pytest.raises(SimulationError):
+            fmap.release(95, 10)
+
+    def test_fragment_count_and_largest(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(0, 100)
+        fmap.release(0, 5)
+        fmap.release(50, 30)
+        assert fmap.fragment_count == 2
+        assert fmap.largest_free() == 30
+
+
+@st.composite
+def alloc_free_script(draw):
+    """A random, always-valid sequence of first/best-fit allocs and frees."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["first", "best", "free"]),
+                st.integers(min_value=1, max_value=40),
+            ),
+            max_size=60,
+        )
+    )
+
+
+@given(script=alloc_free_script())
+@settings(max_examples=120)
+def test_property_invariants_hold_through_any_script(script):
+    fmap = FreeExtentMap(500)
+    live: list[tuple[int, int]] = []
+    for action, size in script:
+        if action == "free" and live:
+            start, length = live.pop(len(live) // 2)
+            fmap.release(start, length)
+        elif action in ("first", "best"):
+            taker = fmap.take_first_fit if action == "first" else fmap.take_best_fit
+            start = taker(size)
+            if start is not None:
+                live.append((start, size))
+        fmap.check_invariants()
+    # Conservation: free + live allocations == capacity.
+    assert fmap.free_units + sum(length for _, length in live) == 500
+    # No two live allocations overlap.
+    live.sort()
+    for (a_start, a_len), (b_start, _) in zip(live, live[1:]):
+        assert a_start + a_len <= b_start
+
+
+class TestTakeUpToFrom:
+    """The log-head allocation primitive used by the LFS extension."""
+
+    def test_takes_from_position_inside_interval(self):
+        fmap = FreeExtentMap(100)
+        start, taken = fmap.take_up_to_from(40, 10)
+        assert (start, taken) == (40, 10)
+        assert fmap.is_free(0, 40)
+        assert not fmap.is_free(40, 10)
+
+    def test_clamps_to_interval_end(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(50, 50)
+        start, taken = fmap.take_up_to_from(45, 20)
+        assert (start, taken) == (45, 5)  # only 5 free before the wall
+
+    def test_skips_to_next_interval(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(10, 20)  # hole-free zone 10..30 allocated
+        start, taken = fmap.take_up_to_from(10, 5)
+        assert start == 30
+
+    def test_wraps_to_zero(self):
+        fmap = FreeExtentMap(100)
+        fmap.take_at(50, 50)
+        start, taken = fmap.take_up_to_from(80, 10)
+        assert start == 0  # nothing at/after 80: wrap
+
+    def test_none_when_nothing_free(self):
+        fmap = FreeExtentMap(10)
+        fmap.take_at(0, 10)
+        assert fmap.take_up_to_from(0, 1) is None
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(SimulationError):
+            FreeExtentMap(10).take_up_to_from(0, 0)
+
+    def test_invariants_after_partial_takes(self):
+        fmap = FreeExtentMap(200)
+        position = 0
+        for _ in range(20):
+            piece = fmap.take_up_to_from(position, 7)
+            if piece is None:
+                break
+            position = piece[0] + piece[1]
+            fmap.check_invariants()

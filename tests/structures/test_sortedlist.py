@@ -1,0 +1,94 @@
+"""Unit + property tests for the bisect-backed ordered containers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.structures.sortedlist import SortedAddresses, SortedPairs
+
+
+class TestSortedAddresses:
+    def test_add_and_contains(self):
+        s = SortedAddresses()
+        s.add(5)
+        s.add(1)
+        assert 5 in s
+        assert 1 in s
+        assert 3 not in s
+
+    def test_iteration_sorted(self):
+        s = SortedAddresses([9, 2, 7])
+        assert list(s) == [2, 7, 9]
+
+    def test_duplicate_add_raises(self):
+        s = SortedAddresses([1])
+        with pytest.raises(SimulationError):
+            s.add(1)
+
+    def test_remove_missing_raises(self):
+        s = SortedAddresses([1])
+        with pytest.raises(SimulationError):
+            s.remove(2)
+
+    def test_successor(self):
+        s = SortedAddresses([10, 20])
+        assert s.successor(5) == 10
+        assert s.successor(10) == 10
+        assert s.successor(11) == 20
+        assert s.successor(21) is None
+
+    def test_predecessor(self):
+        s = SortedAddresses([10, 20])
+        assert s.predecessor(10) is None
+        assert s.predecessor(11) == 10
+        assert s.predecessor(25) == 20
+
+    def test_first(self):
+        assert SortedAddresses().first() is None
+        assert SortedAddresses([4, 2]).first() == 2
+
+    def test_range(self):
+        s = SortedAddresses([1, 3, 5, 7])
+        assert s.range(3, 7) == [3, 5]
+        assert s.range(0, 100) == [1, 3, 5, 7]
+        assert s.range(8, 9) == []
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=100))
+@settings(max_examples=100)
+def test_property_successor_matches_naive(values):
+    s = SortedAddresses(list(values))
+    ordered = sorted(values)
+    for probe in list(values)[:10] + [0, 5000, 10_001]:
+        expected = next((v for v in ordered if v >= probe), None)
+        assert s.successor(probe) == expected
+
+
+class TestSortedPairs:
+    def test_first_with_primary_at_least(self):
+        pairs = SortedPairs()
+        pairs.add(10, 100)
+        pairs.add(10, 50)
+        pairs.add(20, 10)
+        assert pairs.first_with_primary_at_least(5) == (10, 50)
+        assert pairs.first_with_primary_at_least(11) == (20, 10)
+        assert pairs.first_with_primary_at_least(21) is None
+
+    def test_remove(self):
+        pairs = SortedPairs()
+        pairs.add(10, 50)
+        pairs.remove(10, 50)
+        assert len(pairs) == 0
+
+    def test_remove_missing_raises(self):
+        pairs = SortedPairs()
+        with pytest.raises(SimulationError):
+            pairs.remove(1, 1)
+
+    def test_ties_broken_by_lowest_secondary(self):
+        pairs = SortedPairs()
+        pairs.add(8, 300)
+        pairs.add(8, 100)
+        pairs.add(8, 200)
+        assert pairs.first_with_primary_at_least(8) == (8, 100)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_policy
+from repro.core.configs import (
+    BuddyPolicy,
+    ExtentPolicy,
+    FixedPolicy,
+    RestrictedPolicy,
+)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_alloc_defaults(self):
+        args = build_parser().parse_args(["alloc"])
+        assert args.policy == "restricted"
+        assert args.workload == "SC"
+        assert args.scale == 0.1
+
+    def test_perf_cap(self):
+        args = build_parser().parse_args(["perf", "--cap-ms", "1000"])
+        assert args.cap_ms == 1000.0
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["alloc", "--policy", "zfs"])
+
+
+class TestMakePolicy:
+    def args(self, **overrides):
+        defaults = dict(
+            grow_factor=1, unclustered=False, extent_ranges=3, fit="first"
+        )
+        defaults.update(overrides)
+        return type("Args", (), defaults)
+
+    def test_buddy(self):
+        assert isinstance(make_policy("buddy", "SC", self.args()), BuddyPolicy)
+
+    def test_restricted_options(self):
+        policy = make_policy(
+            "restricted", "SC", self.args(grow_factor=2, unclustered=True)
+        )
+        assert isinstance(policy, RestrictedPolicy)
+        assert policy.grow_factor == 2
+        assert not policy.clustered
+
+    def test_extent_workload_ranges(self):
+        policy = make_policy("extent", "TS", self.args(extent_ranges=2))
+        assert isinstance(policy, ExtentPolicy)
+        assert policy.range_means == ("1K", "8K")
+
+    def test_fixed_workload_block_size(self):
+        assert make_policy("fixed", "TS", self.args()).block_size == "4K"
+        assert make_policy("fixed", "TP", self.args()).block_size == "16K"
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Wren IV" in out
+        assert "2.83" in out
+
+    def test_alloc_runs(self, capsys):
+        code = main(
+            ["alloc", "--policy", "extent", "--workload", "SC", "--scale", "0.03"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Internal fragmentation" in out
+
+    def test_perf_runs(self, capsys):
+        code = main(
+            [
+                "perf",
+                "--policy",
+                "extent",
+                "--workload",
+                "SC",
+                "--scale",
+                "0.03",
+                "--cap-ms",
+                "15000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out

@@ -1,0 +1,24 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.report.figures
+import repro.report.tables
+import repro.sim.engine
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.sim.engine,
+    repro.report.tables,
+    repro.report.figures,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted > 0, f"no doctests found in {module}"

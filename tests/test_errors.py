@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DiskFullError,
+    FileSystemError,
+    InvalidRequestError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            SimulationError,
+            AllocationError,
+            FileSystemError,
+            InvalidRequestError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_disk_full_is_allocation_error(self):
+        assert issubclass(DiskFullError, AllocationError)
+
+    def test_disk_full_carries_context(self):
+        error = DiskFullError(requested_units=100, free_units=42)
+        assert error.requested_units == 100
+        assert error.free_units == 42
+        assert "100" in str(error)
+        assert "42" in str(error)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise DiskFullError(1, 0)

@@ -1,0 +1,145 @@
+"""Unit tests for the workload driver and the allocation test loop."""
+
+import pytest
+
+from repro.alloc.extent import ExtentAllocator, ExtentSizeConfig, FitPolicy
+from repro.disk.array import StripedArray
+from repro.disk.geometry import TINY_DISK
+from repro.errors import SimulationError
+from repro.fs.filesystem import FileSystem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+from repro.units import KIB
+from repro.workload.driver import WorkloadDriver, run_allocation_until_full
+from repro.workload.profiles import mini
+
+
+def make_fs(n_disks=4):
+    sim = Simulator()
+    array = StripedArray(sim, TINY_DISK, n_disks, 24 * KIB, KIB)
+    allocator = ExtentAllocator(
+        array.capacity_units,
+        ExtentSizeConfig(range_means_units=(8,)),
+        FitPolicy.FIRST_FIT,
+        RandomStream(3),
+    )
+    return sim, FileSystem(sim, array, allocator)
+
+
+class TestDriver:
+    def test_populate_creates_expected_files(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=6), seed=1)
+        driver.populate()
+        assert driver.live_file_count() == 6
+        assert len(fs.files) == 6
+        assert all(f.length_bytes > 0 for f in fs.files.values())
+
+    def test_users_stagger_and_run(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=6), seed=1)
+        driver.populate()
+        driver.start_users()
+        sim.run(until=2_000.0)
+        total_ops = sum(driver.op_counts.as_dict().values())
+        assert total_ops > 20
+        assert fs.bytes_read + fs.bytes_written > 0
+
+    def test_population_survives_churn(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=6), seed=2)
+        driver.populate()
+        driver.start_users()
+        sim.run(until=5_000.0)
+        # Deletes recreate, so the population count is stable.
+        assert driver.live_file_count() == 6
+        fs.allocator.check_no_overlap()
+
+    def test_sequential_mode_only_reads_and_writes(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=4), seed=3)
+        driver.populate()
+        driver.mode = "sequential"
+        driver.start_users()
+        sim.run(until=3_000.0)
+        counts = driver.op_counts.as_dict()
+        assert set(counts) <= {"read", "write"}
+
+    def test_governor_converts_extends(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(
+            sim, fs, mini(n_files=6), seed=4, lower_bound=0.0001, upper_bound=0.0002
+        )
+        driver.populate()  # already above the tiny upper bound
+        driver.start_users()
+        sim.run(until=5_000.0)
+        assert driver.governor_conversions > 0
+
+    def test_bad_bounds_raise(self):
+        sim, fs = make_fs()
+        with pytest.raises(SimulationError):
+            WorkloadDriver(sim, fs, mini(), lower_bound=0.9, upper_bound=0.5)
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            sim, fs = make_fs()
+            driver = WorkloadDriver(sim, fs, mini(n_files=5), seed=42)
+            driver.populate()
+            driver.start_users()
+            sim.run(until=3_000.0)
+            counts.append(driver.op_counts.as_dict())
+        assert counts[0] == counts[1]
+
+
+class TestAllocationTest:
+    def test_runs_to_disk_full(self):
+        # Start near-full (like the paper's tests) so extends finish the job;
+        # a sparse population with delete churn would hover forever.
+        sim, fs = make_fs(n_disks=2)
+        result = run_allocation_until_full(
+            fs, mini(n_files=150), seed=5, max_operations=200_000
+        )
+        frag = result.fragmentation
+        assert 0.0 <= frag.internal_fraction < 1.0
+        assert 0.0 <= frag.external_fraction < 1.0
+        assert result.file_count > 0
+        assert result.average_extents_per_file > 0
+
+    def test_operation_cap_reports_unfilled(self):
+        sim, fs = make_fs()
+        # One op will never fill a whole disk: the cap ends the test with
+        # a steady-state (unfilled) snapshot.
+        result = run_allocation_until_full(
+            fs, mini(n_files=1), seed=6, max_operations=1
+        )
+        assert not result.filled
+        assert result.operations == 1
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            sim, fs = make_fs(n_disks=2)
+            result = run_allocation_until_full(
+                fs, mini(n_files=150), seed=7, max_operations=200_000
+            )
+            results.append(
+                (result.operations, result.fragmentation.internal_fraction)
+            )
+        assert results[0] == results[1]
+
+
+class TestLatencyDiagnostics:
+    def test_latency_recorded_per_operation(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=6), seed=8)
+        driver.populate()
+        driver.start_users()
+        sim.run(until=3_000.0)
+        assert "read" in driver.op_latency
+        read_latency = driver.op_latency["read"]
+        assert read_latency.count > 0
+        assert read_latency.mean > 0.0  # reads take simulated time
+        # Truncates are metadata-only: instant.
+        if "truncate" in driver.op_latency:
+            assert driver.op_latency["truncate"].mean == 0.0
