@@ -16,6 +16,13 @@ Environment knobs:
 * ``REPRO_BENCH_TOLERANCE`` — stabilization tolerance (default 0.003; the
   paper's 0.1 % rule rarely fires within laptop-sized horizons, so the
   caps normally govern).
+* ``REPRO_BENCH_JOBS`` — worker processes per sweep (default 1: serial,
+  so benchmark timings stay comparable; parallel output is identical).
+* ``REPRO_BENCH_CACHE`` — set to ``0`` to disable the result cache.
+* ``REPRO_BENCH_CACHE_DIR`` — cache location (default ``results/.cache``).
+  With the cache warm, regenerating every table and figure replays
+  cached sweep points instead of recomputing identical simulations;
+  delete the directory (or change any knob above) to recompute.
 
 Fragmentation (allocation) benchmarks for TP and SC always run at full
 scale — they are cheap and scale-sensitive; TS fragmentation runs at the
@@ -30,14 +37,20 @@ import pathlib
 import pytest
 
 from repro.core.configs import SystemConfig
+from repro.core.runner import ExperimentRunner
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1991"))
 APP_CAP_MS = float(os.environ.get("REPRO_BENCH_APP_CAP_MS", "90000"))
 SEQ_CAP_MS = float(os.environ.get("REPRO_BENCH_SEQ_CAP_MS", "90000"))
 TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.003"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+BENCH_CACHE_DIR = pathlib.Path(
+    os.environ.get("REPRO_BENCH_CACHE_DIR", str(RESULTS_DIR / ".cache"))
+)
 
 
 @pytest.fixture(scope="session")
@@ -63,6 +76,19 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    """One shared experiment runner: cached sweep points replay across
+    the whole benchmark session instead of being recomputed per figure."""
+    runner = ExperimentRunner(
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE_DIR if BENCH_CACHE else None,
+        use_cache=BENCH_CACHE,
+    )
+    yield runner
+    print(f"\n[bench runner] {runner.stats.summary()}")
 
 
 @pytest.fixture(scope="session")

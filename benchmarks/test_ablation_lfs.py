@@ -14,7 +14,6 @@ turf (the paper's own TS mix, two-thirds reads).
 """
 
 from repro.core.configs import (
-    ExperimentConfig,
     ExtentPolicy,
     FixedPolicy,
     LogStructuredPolicy,
@@ -22,7 +21,6 @@ from repro.core.configs import (
     SystemConfig,
     extent_ranges_for,
 )
-from repro.core.experiments import run_performance_experiment
 from repro.fs.filesystem import FileSystem
 from repro.report.tables import Table
 from repro.sim.engine import Simulator

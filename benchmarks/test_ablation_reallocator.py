@@ -12,14 +12,13 @@ buddy policy, then run one nightly reallocation pass, and measure both
 claims directly.
 """
 
-from repro.core.configs import ExperimentConfig, SystemConfig
+from repro.core.configs import SystemConfig
 from repro.core.experiments import allocation_fill_for, build_profile
 from repro.core.configs import BuddyPolicy
 from repro.fs.filesystem import FileSystem
 from repro.report.tables import Table
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStream
-from repro.workload.driver import run_allocation_until_full
 
 from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, emit
 

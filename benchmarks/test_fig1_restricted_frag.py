@@ -22,9 +22,9 @@ PANELS = (
 )
 
 
-def run_sweep(workload, bench_system, full_system, seed):
+def run_sweep(workload, bench_system, full_system, seed, runner=None):
     system = full_system if workload in ("SC", "TP") else bench_system
-    return sweep_restricted_fragmentation(workload, system, seed=seed)
+    return sweep_restricted_fragmentation(workload, system, seed=seed, runner=runner)
 
 
 def render_panels(workload, panel_name, points) -> str:
@@ -45,20 +45,22 @@ def render_panels(workload, panel_name, points) -> str:
     return internal.render() + "\n\n" + external.render()
 
 
-def build_figure1(bench_system, full_system, seed):
+def build_figure1(bench_system, full_system, seed, runner=None):
     sections = []
     sweeps = {}
     for workload, panel in PANELS:
-        points = run_sweep(workload, bench_system, full_system, seed)
+        points = run_sweep(workload, bench_system, full_system, seed, runner)
         sweeps[workload] = points
         sections.append(render_panels(workload, panel, points))
     return "\n\n".join(sections), sweeps
 
 
-def test_fig1_restricted_fragmentation(benchmark, bench_system, full_system, bench_seed):
+def test_fig1_restricted_fragmentation(
+    benchmark, bench_system, full_system, bench_seed, bench_runner
+):
     text, sweeps = benchmark.pedantic(
         build_figure1,
-        args=(bench_system, full_system, bench_seed),
+        args=(bench_system, full_system, bench_seed, bench_runner),
         rounds=1,
         iterations=1,
     )

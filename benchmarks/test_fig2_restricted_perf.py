@@ -11,7 +11,7 @@ for SC, ~20% for TP), while TS sits far below either.
 from repro.core.sweeps import sweep_restricted_performance
 from repro.report.figures import GroupedBarChart
 
-from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, emit
 
 PANELS = (
     ("SC", "2a/2b"),
@@ -44,7 +44,7 @@ def render_panels(workload, panel_name, points) -> str:
     return application.render() + "\n\n" + sequential.render()
 
 
-def build_figure2(bench_system, seed):
+def build_figure2(bench_system, seed, runner=None):
     sections = []
     sweeps = {}
     for workload, panel in PANELS:
@@ -54,15 +54,19 @@ def build_figure2(bench_system, seed):
             seed=seed,
             app_cap_ms=APP_CAP_MS,
             seq_cap_ms=SEQ_CAP_MS,
+            runner=runner,
         )
         sweeps[workload] = points
         sections.append(render_panels(workload, panel, points))
     return "\n\n".join(sections), sweeps
 
 
-def test_fig2_restricted_performance(benchmark, bench_system, bench_seed):
+def test_fig2_restricted_performance(benchmark, bench_system, bench_seed, bench_runner):
     text, sweeps = benchmark.pedantic(
-        build_figure2, args=(bench_system, bench_seed), rounds=1, iterations=1
+        build_figure2,
+        args=(bench_system, bench_seed, bench_runner),
+        rounds=1,
+        iterations=1,
     )
     emit("fig2_restricted_perf", text)
 

@@ -32,21 +32,23 @@ def render_panels(workload, panel_name, points) -> str:
     return internal.render() + "\n\n" + external.render()
 
 
-def build_figure4(bench_system, full_system, seed):
+def build_figure4(bench_system, full_system, seed, runner=None):
     sections = []
     sweeps = {}
     for workload, panel in PANELS:
         system = full_system if workload in ("SC", "TP") else bench_system
-        points = sweep_extent_fragmentation(workload, system, seed=seed)
+        points = sweep_extent_fragmentation(workload, system, seed=seed, runner=runner)
         sweeps[workload] = points
         sections.append(render_panels(workload, panel, points))
     return "\n\n".join(sections), sweeps
 
 
-def test_fig4_extent_fragmentation(benchmark, bench_system, full_system, bench_seed):
+def test_fig4_extent_fragmentation(
+    benchmark, bench_system, full_system, bench_seed, bench_runner
+):
     text, sweeps = benchmark.pedantic(
         build_figure4,
-        args=(bench_system, full_system, bench_seed),
+        args=(bench_system, full_system, bench_seed, bench_runner),
         rounds=1,
         iterations=1,
     )

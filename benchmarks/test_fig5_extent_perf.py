@@ -9,7 +9,7 @@ numbers coincide with the configurations that minimize extents per file.
 from repro.core.sweeps import sweep_extent_performance
 from repro.report.figures import GroupedBarChart
 
-from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, emit
 
 PANELS = (("SC", "5a/5b"), ("TP", "5c/5d"), ("TS", "5e/5f"))
 
@@ -34,7 +34,7 @@ def render_panels(workload, panel_name, points) -> str:
     return application.render() + "\n\n" + sequential.render()
 
 
-def build_figure5(bench_system, seed):
+def build_figure5(bench_system, seed, runner=None):
     sections = []
     sweeps = {}
     for workload, panel in PANELS:
@@ -44,15 +44,19 @@ def build_figure5(bench_system, seed):
             seed=seed,
             app_cap_ms=APP_CAP_MS,
             seq_cap_ms=SEQ_CAP_MS,
+            runner=runner,
         )
         sweeps[workload] = points
         sections.append(render_panels(workload, panel, points))
     return "\n\n".join(sections), sweeps
 
 
-def test_fig5_extent_performance(benchmark, bench_system, bench_seed):
+def test_fig5_extent_performance(benchmark, bench_system, bench_seed, bench_runner):
     text, sweeps = benchmark.pedantic(
-        build_figure5, args=(bench_system, bench_seed), rounds=1, iterations=1
+        build_figure5,
+        args=(bench_system, bench_seed, bench_runner),
+        rounds=1,
+        iterations=1,
     )
     emit("fig5_extent_perf", text)
 

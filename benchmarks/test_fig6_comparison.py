@@ -17,15 +17,16 @@ Paper shapes asserted:
 from repro.core.comparison import figure6
 from repro.report.figures import GroupedBarChart
 
-from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
+from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, emit
 
 
-def build_figure6(bench_system, seed):
+def build_figure6(bench_system, seed, runner=None):
     cells = figure6(
         bench_system,
         seed=seed,
         app_cap_ms=APP_CAP_MS,
         seq_cap_ms=SEQ_CAP_MS,
+        runner=runner,
     )
     sequential = GroupedBarChart(
         "Figure 6a: Sequential performance (% of max throughput)",
@@ -44,9 +45,12 @@ def build_figure6(bench_system, seed):
     return text, cells
 
 
-def test_fig6_comparison(benchmark, bench_system, bench_seed):
+def test_fig6_comparison(benchmark, bench_system, bench_seed, bench_runner):
     text, cells = benchmark.pedantic(
-        build_figure6, args=(bench_system, bench_seed), rounds=1, iterations=1
+        build_figure6,
+        args=(bench_system, bench_seed, bench_runner),
+        rounds=1,
+        iterations=1,
     )
     emit("fig6_comparison", text)
 

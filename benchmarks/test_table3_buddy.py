@@ -19,40 +19,48 @@ extents results in very high throughput" observation.
 """
 
 from repro.core.configs import SELECTED_BUDDY, ExperimentConfig
-from repro.core.experiments import (
-    run_allocation_experiment,
-    run_performance_experiment,
-)
+from repro.core.runner import ExperimentTask, execute_all
 from repro.report.tables import Table
 
 from benchmarks.conftest import APP_CAP_MS, SEQ_CAP_MS, TOLERANCE, emit
 
+WORKLOADS = ("SC", "TP", "TS")
 
-def run_table3(bench_system, full_system, seed):
+
+def run_table3(bench_system, full_system, seed, runner=None):
     """Fragmentation at full scale (TS at bench scale); throughput at bench scale."""
-    frag = {}
-    for workload in ("SC", "TP", "TS"):
+    tasks = []
+    for workload in WORKLOADS:
         system = full_system if workload in ("SC", "TP") else bench_system
         config = ExperimentConfig(
             policy=SELECTED_BUDDY, workload=workload, system=system, seed=seed
         )
-        frag[workload] = run_allocation_experiment(config).fragmentation
-    perf = {}
-    for workload in ("SC", "TP", "TS"):
+        tasks.append(ExperimentTask.allocation(config))
+    for workload in WORKLOADS:
         config = ExperimentConfig(
             policy=SELECTED_BUDDY, workload=workload, system=bench_system, seed=seed
         )
-        perf[workload] = run_performance_experiment(
-            config,
-            app_cap_ms=APP_CAP_MS,
-            seq_cap_ms=SEQ_CAP_MS,
-            tolerance=TOLERANCE,
+        tasks.append(
+            ExperimentTask.performance(
+                config,
+                app_cap_ms=APP_CAP_MS,
+                seq_cap_ms=SEQ_CAP_MS,
+                tolerance=TOLERANCE,
+            )
         )
+    results = execute_all(tasks, runner)
+    frag = {
+        workload: results[i].fragmentation for i, workload in enumerate(WORKLOADS)
+    }
+    perf = {
+        workload: results[len(WORKLOADS) + i]
+        for i, workload in enumerate(WORKLOADS)
+    }
     return frag, perf
 
 
-def build_table3(bench_system, full_system, seed) -> tuple[str, dict]:
-    frag, perf = run_table3(bench_system, full_system, seed)
+def build_table3(bench_system, full_system, seed, runner=None) -> tuple[str, dict]:
+    frag, perf = run_table3(bench_system, full_system, seed, runner)
     table = Table(
         [
             "Workload",
@@ -78,10 +86,10 @@ def build_table3(bench_system, full_system, seed) -> tuple[str, dict]:
     return table.render(), {"frag": frag, "perf": perf}
 
 
-def test_table3_buddy(benchmark, bench_system, full_system, bench_seed):
+def test_table3_buddy(benchmark, bench_system, full_system, bench_seed, bench_runner):
     text, data = benchmark.pedantic(
         build_table3,
-        args=(bench_system, full_system, bench_seed),
+        args=(bench_system, full_system, bench_seed, bench_runner),
         rounds=1,
         iterations=1,
     )

@@ -23,12 +23,12 @@ from repro.report.tables import Table
 from benchmarks.conftest import emit
 
 
-def build_table4(bench_system, full_system, seed):
+def build_table4(bench_system, full_system, seed, runner=None):
     results = {}
     for workload in ("SC", "TP", "TS"):
         system = full_system if workload in ("SC", "TP") else bench_system
         points = sweep_extent_fragmentation(
-            workload, system, seed=seed, fits=("first",)
+            workload, system, seed=seed, fits=("first",), runner=runner
         )
         results[workload] = {
             p.n_ranges: p.allocation.average_extents_per_file for p in points
@@ -52,10 +52,12 @@ def build_table4(bench_system, full_system, seed):
     return table.render(), results
 
 
-def test_table4_extents_per_file(benchmark, bench_system, full_system, bench_seed):
+def test_table4_extents_per_file(
+    benchmark, bench_system, full_system, bench_seed, bench_runner
+):
     text, results = benchmark.pedantic(
         build_table4,
-        args=(bench_system, full_system, bench_seed),
+        args=(bench_system, full_system, bench_seed, bench_runner),
         rounds=1,
         iterations=1,
     )

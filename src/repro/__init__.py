@@ -46,6 +46,8 @@ from .core import (
     PAPER_SYSTEM,
     BuddyPolicy,
     ExperimentConfig,
+    ExperimentRunner,
+    ExperimentTask,
     ExtentPolicy,
     FfsPolicy,
     FixedPolicy,
@@ -78,6 +80,7 @@ from .errors import (
     AllocationError,
     ConfigurationError,
     DiskFullError,
+    ExperimentError,
     FileSystemError,
     ReproError,
     SimulationError,
@@ -141,6 +144,8 @@ __all__ = [
     "SystemConfig",
     "PAPER_SYSTEM",
     "ExperimentConfig",
+    "ExperimentRunner",
+    "ExperimentTask",
     "BuddyPolicy",
     "RestrictedPolicy",
     "ExtentPolicy",
@@ -164,5 +169,6 @@ __all__ = [
     "SimulationError",
     "AllocationError",
     "DiskFullError",
+    "ExperimentError",
     "FileSystemError",
 ]

@@ -29,7 +29,6 @@ from __future__ import annotations
 from ..errors import ConfigurationError
 from ..sim.rng import RandomStream
 from ..structures.sortedlist import SortedAddresses
-from ..units import ceil_div
 from .base import AllocFile, Allocator, Extent
 
 #: Default FFS geometry: 8K blocks of 1K fragments (8:1, the classic ratio).

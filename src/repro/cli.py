@@ -9,6 +9,13 @@ Examples::
 
 Exit status is 0 on success; configuration errors print to stderr and
 exit 2 (argparse semantics).
+
+The ``alloc``, ``perf``, and ``compare`` commands accept ``--jobs`` (fan
+independent sweep points across worker processes), ``--cache-dir``
+(result cache location, default ``~/.cache/repro`` or $REPRO_CACHE_DIR),
+and ``--no-cache``.  Progress and a runner summary line ("N executed,
+M cached, ...") go to stderr, so stdout stays byte-identical whatever
+the jobs count or cache state.
 """
 
 from __future__ import annotations
@@ -17,25 +24,21 @@ import argparse
 import sys
 
 from .core.comparison import figure6
+from .core.runner import ExperimentRunner, ExperimentTask, default_cache_dir
 from .core.configs import (
     BuddyPolicy,
     ExperimentConfig,
     ExtentPolicy,
     FfsPolicy,
-    FixedPolicy,
     LogStructuredPolicy,
     PolicyConfig,
     RestrictedPolicy,
     SystemConfig,
     extent_ranges_for,
-    selected_extent,
     selected_fixed,
 )
-from .core.experiments import (
-    run_allocation_experiment,
-    run_performance_experiment,
-)
 from .disk.geometry import WREN_IV
+from .errors import ReproError
 from .report.figures import GroupedBarChart
 from .report.summary import render_performance_summary
 from .report.tables import Table
@@ -65,13 +68,42 @@ def make_policy(name: str, workload: str, args: argparse.Namespace) -> PolicyCon
     raise argparse.ArgumentTypeError(f"unknown policy {name!r}")
 
 
+def _progress(outcome, completed: int, total: int) -> None:
+    """Per-point progress line on stderr (stdout carries only reports)."""
+    status = "cached" if outcome.from_cache else (
+        "failed" if outcome.error else f"{outcome.elapsed_s:.1f}s"
+    )
+    print(
+        f"[{completed}/{total}] {outcome.task.describe()}: {status}",
+        file=sys.stderr,
+    )
+
+
+def make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the experiment runner from the common CLI flags."""
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        use_cache=not args.no_cache,
+        progress=_progress,
+    )
+
+
+def _finish(runner: ExperimentRunner) -> None:
+    """Report the runner's stat counters on stderr."""
+    print(f"runner: {runner.stats.summary()}", file=sys.stderr)
+
+
 def cmd_alloc(args: argparse.Namespace) -> int:
     system = SystemConfig(scale=args.scale)
     policy = make_policy(args.policy, args.workload, args)
     config = ExperimentConfig(
         policy=policy, workload=args.workload, system=system, seed=args.seed
     )
-    result = run_allocation_experiment(config)
+    runner = make_runner(args)
+    result = runner.results([ExperimentTask.allocation(config)])[0]
+    _finish(runner)
     frag = result.fragmentation
     table = Table(["Metric", "Value"], title=f"Allocation test: {config.describe()}")
     table.add_row(["Internal fragmentation", f"{frag.internal_percent:.1f}%"])
@@ -90,18 +122,27 @@ def cmd_perf(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         policy=policy, workload=args.workload, system=system, seed=args.seed
     )
-    result = run_performance_experiment(
+    runner = make_runner(args)
+    task = ExperimentTask.performance(
         config, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
     )
+    result = runner.results([task])[0]
+    _finish(runner)
     print(render_performance_summary(result))
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     system = SystemConfig(scale=args.scale)
+    runner = make_runner(args)
     cells = figure6(
-        system, seed=args.seed, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
+        system,
+        seed=args.seed,
+        app_cap_ms=args.cap_ms,
+        seq_cap_ms=args.cap_ms,
+        runner=runner,
     )
+    _finish(runner)
     sequential = GroupedBarChart(
         "Sequential performance (% of max)", value_format="{:.1f}%", maximum=100.0
     )
@@ -150,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.1,
                        help="disk scale factor (1.0 = the paper's 2.8G)")
         p.add_argument("--seed", type=int, default=1991)
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent sweep points "
+                            "(0 = one per CPU; results are identical to --jobs 1)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache directory "
+                            f"(default: {default_cache_dir()})")
+        p.add_argument("--no-cache", action="store_true",
+                       help="always simulate; neither read nor write the cache")
         if with_policy:
             p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
             p.add_argument("--workload", choices=("TS", "TP", "SC"), default="SC")
@@ -182,10 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library errors (:class:`ReproError` — bad configurations, failed
+    sweep points) print to stderr and exit 2, matching argparse's own
+    usage-error status; only genuine bugs surface as tracebacks.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -22,7 +22,7 @@ from ..fs.filesystem import FileSystem
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStream
 from ..units import KIB
-from .configs import ExperimentConfig, RestrictedPolicy, SystemConfig
+from .configs import RestrictedPolicy, SystemConfig
 
 
 @dataclass(frozen=True)

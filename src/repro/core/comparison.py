@@ -21,11 +21,8 @@ from .configs import (
     selected_extent,
     selected_fixed,
 )
-from .experiments import (
-    PerformanceResult,
-    run_allocation_experiment,
-    run_performance_experiment,
-)
+from .experiments import PerformanceResult
+from .runner import ExperimentRunner, ExperimentTask, execute_all
 
 WORKLOADS = ("SC", "TP", "TS")
 
@@ -62,19 +59,25 @@ def table3_buddy(
     seq_cap_ms: float = 300_000.0,
     fill_fraction: float | None = None,
     workloads: tuple[str, ...] = WORKLOADS,
+    runner: ExperimentRunner | None = None,
 ) -> list[Table3Row]:
     """Run the buddy policy through both §3 tests on every workload."""
-    rows = []
+    tasks = []
     for workload in workloads:
         config = ExperimentConfig(
             policy=SELECTED_BUDDY, workload=workload, system=system, seed=seed
         )
-        allocation = run_allocation_experiment(config, fill_fraction=fill_fraction)
-        performance = run_performance_experiment(
-            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+        tasks.append(ExperimentTask.allocation(config, fill_fraction=fill_fraction))
+        tasks.append(
+            ExperimentTask.performance(
+                config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+            )
         )
-        rows.append(Table3Row(workload, allocation, performance))
-    return rows
+    results = execute_all(tasks, runner)
+    return [
+        Table3Row(workload, results[2 * i], results[2 * i + 1])
+        for i, workload in enumerate(workloads)
+    ]
 
 
 def selected_policies(workload: str) -> list[PolicyConfig]:
@@ -110,16 +113,29 @@ def figure6(
     app_cap_ms: float = 300_000.0,
     seq_cap_ms: float = 300_000.0,
     workloads: tuple[str, ...] = WORKLOADS,
+    runner: ExperimentRunner | None = None,
 ) -> list[ComparisonCell]:
-    """Run the four selected policies on every workload."""
-    cells = []
-    for workload in workloads:
-        for policy in selected_policies(workload):
-            config = ExperimentConfig(
-                policy=policy, workload=workload, system=system, seed=seed
-            )
-            result = run_performance_experiment(
-                config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
-            )
-            cells.append(ComparisonCell(workload, policy.label, result))
-    return cells
+    """Run the four selected policies on every workload.
+
+    The 12 cells are independent simulations; pass a ``runner`` to fan
+    them across worker processes and/or replay them from the result
+    cache — cell order and values are identical either way.
+    """
+    pairs = [
+        (workload, policy)
+        for workload in workloads
+        for policy in selected_policies(workload)
+    ]
+    tasks = [
+        ExperimentTask.performance(
+            ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed),
+            app_cap_ms=app_cap_ms,
+            seq_cap_ms=seq_cap_ms,
+        )
+        for workload, policy in pairs
+    ]
+    results = execute_all(tasks, runner)
+    return [
+        ComparisonCell(workload, policy.label, result)
+        for (workload, policy), result in zip(pairs, results)
+    ]

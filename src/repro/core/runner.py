@@ -1,0 +1,397 @@
+"""Parallel experiment execution with deterministic result caching.
+
+Every figure in the paper is a sweep of *independent* stochastic
+simulations: each point derives its random streams purely from
+``(seed, stream name)`` (see :mod:`repro.sim.rng`), so points can run in
+any order, in any process, and produce bit-identical results.  This
+module exploits that:
+
+* :class:`ExperimentTask` names one point — a test kind plus an
+  :class:`ExperimentConfig` and the experiment keyword arguments — and
+  derives a stable content hash from it.
+* :class:`ResultCache` persists finished results on disk under that
+  hash, so re-running a figure replays cached points instantly.
+* :class:`ExperimentRunner` fans pending tasks across a spawn-safe
+  ``multiprocessing`` worker pool, reports per-point timing through an
+  optional progress callback, and routes per-point failures into a
+  structured :class:`PointOutcome.error` channel instead of letting one
+  diverging configuration kill the whole sweep.
+
+``jobs=1`` (the default) executes inline in the calling process — no
+pool, no pickling — and is the reference behavior: parallel execution is
+required to be bit-identical to it.
+
+Cache keys cover the policy configuration (class name and every field),
+the workload, the system (geometry included), the seed, the test kind,
+and the experiment keyword arguments (caps, tolerances, fill fractions),
+plus a cache format version.  Change any of these and the key changes;
+delete the cache directory to invalidate everything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError, ExperimentError
+from .configs import ExperimentConfig
+from .experiments import run_allocation_experiment, run_performance_experiment
+
+#: Bump when result dataclasses or experiment semantics change shape;
+#: old cache entries then miss instead of deserializing stale science.
+CACHE_FORMAT_VERSION = 1
+
+#: Test kinds and the §3 procedures they dispatch to.
+_EXPERIMENT_KINDS: dict[str, Callable[..., Any]] = {
+    "allocation": run_allocation_experiment,
+    "performance": run_performance_experiment,
+}
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location.
+
+    ``$REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro`` (or
+    ``~/.cache/repro``).
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# ---------------------------------------------------------------------------
+# Tasks and cache keys
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-serializable, order-stable projection of a config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__name__, fields]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One executable sweep point: a test kind, a config, and kwargs.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so tasks stay hashable
+    and their cache keys are independent of keyword order.  ``None``
+    values are dropped at construction — passing ``fill_fraction=None``
+    means the same thing as omitting it, and must hash the same.
+    """
+
+    kind: str
+    config: ExperimentConfig
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EXPERIMENT_KINDS:
+            raise ExperimentError(f"unknown experiment kind {self.kind!r}")
+
+    @classmethod
+    def allocation(cls, config: ExperimentConfig, **kwargs: Any) -> "ExperimentTask":
+        """An allocation (fragmentation) test point."""
+        return cls("allocation", config, _freeze_kwargs(kwargs))
+
+    @classmethod
+    def performance(cls, config: ExperimentConfig, **kwargs: Any) -> "ExperimentTask":
+        """A performance (application + sequential) test point."""
+        return cls("performance", config, _freeze_kwargs(kwargs))
+
+    def execute(self) -> Any:
+        """Run the experiment synchronously in this process."""
+        return _EXPERIMENT_KINDS[self.kind](self.config, **dict(self.kwargs))
+
+    @property
+    def cache_key(self) -> str:
+        """Stable content hash identifying this point's result."""
+        payload = json.dumps(
+            [
+                "repro-experiment",
+                CACHE_FORMAT_VERSION,
+                self.kind,
+                _canonical(self.config),
+                _canonical(dict(self.kwargs)),
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """One-line label for progress reports."""
+        return f"{self.kind}: {self.config.describe()}"
+
+
+def _freeze_kwargs(kwargs: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted((k, v) for k, v in kwargs.items() if v is not None))
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Pickle-per-key result store with atomic writes.
+
+    Corrupt or unreadable entries are treated as misses, never as errors:
+    the cache is an accelerator, not a source of truth.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str) -> Any | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        try:
+            with open(self.path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A corrupt or truncated entry is a miss, never an error.
+            # pickle raises far more than PickleError on garbage bytes
+            # (ValueError, KeyError, UnicodeDecodeError, ImportError...).
+            return None
+
+    def store(self, key: str, result: Any) -> None:
+        """Persist ``result`` under ``key`` (atomic rename, last wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.path(key)
+        temp = final.with_name(f"{final.name}.{os.getpid()}.tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, final)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes, stats, and the runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """What happened to one task: a result, or a structured failure.
+
+    Attributes:
+        index: the task's position in the submitted sequence (outcomes
+            are returned in submission order regardless of completion
+            order).
+        result: the experiment result, or ``None`` if the point failed.
+        error: ``None`` on success; otherwise the worker's formatted
+            traceback — the sweep's other points still complete.
+        elapsed_s: wall-clock seconds this point took (0 for cache hits).
+        from_cache: True when the result was replayed from the cache.
+    """
+
+    index: int
+    task: ExperimentTask
+    result: Any | None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class RunnerStats:
+    """Counters across a runner's lifetime (all ``run`` calls)."""
+
+    executed: int = 0
+    cached: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        """One-line summary for logs: ``3 executed, 9 cached, 0 failed``."""
+        return (
+            f"{self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed ({self.elapsed_s:.1f}s)"
+        )
+
+
+#: Progress callback: (outcome, completed count, total count).
+ProgressCallback = Callable[[PointOutcome, int, int], None]
+
+
+def _worker(task: ExperimentTask) -> tuple[str, Any, float]:
+    """Execute one task; never raise — failures travel as data.
+
+    Runs in worker processes (spawn) and inline for ``jobs=1``; both
+    paths share it so serial and parallel execution are identical.
+    """
+    start = time.perf_counter()
+    try:
+        result = task.execute()
+        return ("ok", result, time.perf_counter() - start)
+    except Exception:  # noqa: BLE001 - structured failure channel
+        return ("error", traceback.format_exc(), time.perf_counter() - start)
+
+
+class ExperimentRunner:
+    """Executes independent experiment tasks, in parallel, with caching.
+
+    Args:
+        jobs: worker processes.  1 (default) runs inline in this process;
+            ``None`` or 0 means one per CPU.
+        cache_dir: result cache directory; ``None`` disables caching.
+        use_cache: master switch — False ignores ``cache_dir`` entirely.
+        progress: optional per-point completion callback.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache_dir: str | Path | None = None,
+        use_cache: bool = True,
+        progress: ProgressCallback | None = None,
+    ) -> None:
+        if jobs is not None and jobs < 0:
+            raise ConfigurationError(f"jobs must be >= 0: {jobs}")
+        if not jobs:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir) if (use_cache and cache_dir) else None
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, tasks: Sequence[ExperimentTask]) -> list[PointOutcome]:
+        """Execute every task; return outcomes in submission order.
+
+        Cached points are replayed without executing; pending points fan
+        across the pool (or run inline for ``jobs=1``).  A failing point
+        yields an outcome with ``error`` set — it never raises here and
+        never interrupts sibling points.
+        """
+        started = time.perf_counter()
+        outcomes: list[PointOutcome | None] = [None] * len(tasks)
+        pending: list[tuple[int, ExperimentTask]] = []
+        total = len(tasks)
+        completed = 0
+
+        for index, task in enumerate(tasks):
+            cached = self.cache.load(task.cache_key) if self.cache else None
+            if cached is not None:
+                outcomes[index] = PointOutcome(
+                    index, task, cached, from_cache=True
+                )
+                self.stats.cached += 1
+                completed += 1
+                self._report(outcomes[index], completed, total)
+            else:
+                pending.append((index, task))
+
+        if self.jobs > 1 and len(pending) > 1:
+            finished = self._run_pool(pending)
+        else:
+            finished = ((index, task, _worker(task)) for index, task in pending)
+
+        for index, task, (status, payload, elapsed) in finished:
+            if status == "ok":
+                outcome = PointOutcome(index, task, payload, elapsed_s=elapsed)
+                self.stats.executed += 1
+                if self.cache:
+                    self.cache.store(task.cache_key, payload)
+            else:
+                outcome = PointOutcome(
+                    index, task, None, error=payload, elapsed_s=elapsed
+                )
+                self.stats.failed += 1
+            outcomes[index] = outcome
+            completed += 1
+            self._report(outcome, completed, total)
+
+        self.stats.elapsed_s += time.perf_counter() - started
+        return [o for o in outcomes if o is not None]
+
+    def results(self, tasks: Sequence[ExperimentTask]) -> list[Any]:
+        """Like :meth:`run`, but unwrap results and raise on any failure.
+
+        All points complete (and successful ones are cached) before the
+        aggregated :class:`ExperimentError` is raised, so a re-run only
+        repeats the diverging configurations.
+        """
+        outcomes = self.run(tasks)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            details = "\n\n".join(
+                f"[{o.index}] {o.task.describe()}\n{o.error}" for o in failures
+            )
+            raise ExperimentError(
+                f"{len(failures)} of {len(outcomes)} sweep points failed:\n"
+                f"{details}"
+            )
+        return [o.result for o in outcomes]
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_pool(self, pending: list[tuple[int, ExperimentTask]]):
+        """Fan pending tasks across a spawn pool; yield as they finish.
+
+        ``spawn`` (not ``fork``) so workers start from a clean interpreter
+        on every platform — experiments share no state, so this is purely
+        a safety choice.
+        """
+        context = get_context("spawn")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(_worker, task): (index, task)
+                for index, task in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, task = futures[future]
+                    try:
+                        yield index, task, future.result()
+                    except Exception:  # noqa: BLE001 - pool infrastructure died
+                        yield index, task, ("error", traceback.format_exc(), 0.0)
+
+    def _report(self, outcome: PointOutcome, completed: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(outcome, completed, total)
+
+
+def execute_all(
+    tasks: Sequence[ExperimentTask], runner: ExperimentRunner | None = None
+) -> list[Any]:
+    """Run tasks through ``runner`` (or a throwaway serial one); unwrap.
+
+    This is the sweep modules' entry point: passing ``runner=None``
+    preserves the historical serial, uncached behavior exactly.
+    """
+    runner = runner or ExperimentRunner()
+    return runner.results(tasks)

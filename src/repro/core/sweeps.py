@@ -6,6 +6,13 @@ Figures 4 and 5 sweep the extent policy over {first fit, best fit} ×
 {1..5 extent ranges}.  Each sweep point runs the §3 allocation test
 (fragmentation) or performance test (application + sequential) and the
 results render as the paper's grouped bars.
+
+Every sweep point is an independent simulation, so all four ``sweep_*``
+functions accept an optional :class:`~repro.core.runner.ExperimentRunner`
+to fan points across worker processes and replay cached results.  With
+``runner=None`` they execute serially and uncached, exactly as before —
+and parallel execution is bit-identical to serial because every point
+derives its random streams purely from ``(seed, stream name)``.
 """
 
 from __future__ import annotations
@@ -25,11 +32,8 @@ from .configs import (
     SystemConfig,
     extent_ranges_for,
 )
-from .experiments import (
-    PerformanceResult,
-    run_allocation_experiment,
-    run_performance_experiment,
-)
+from .experiments import PerformanceResult
+from .runner import ExperimentRunner, ExperimentTask, execute_all
 
 
 @dataclass(frozen=True)
@@ -101,22 +105,28 @@ def sweep_restricted_fragmentation(
     seed: int = 1991,
     fill_fraction: float | None = None,
     ladders: dict[int, tuple[str, ...]] | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[RestrictedSweepPoint]:
     """Figure 1: allocation tests over the restricted configurations."""
-    points = []
-    for policy in restricted_configurations(ladders):
-        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
-        result = run_allocation_experiment(config, fill_fraction=fill_fraction)
-        points.append(
-            RestrictedSweepPoint(
-                workload=workload,
-                n_sizes=len(policy.block_sizes),
-                grow_factor=policy.grow_factor,
-                clustered=policy.clustered,
-                allocation=result,
-            )
+    policies = restricted_configurations(ladders)
+    tasks = [
+        ExperimentTask.allocation(
+            ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed),
+            fill_fraction=fill_fraction,
         )
-    return points
+        for policy in policies
+    ]
+    results = execute_all(tasks, runner)
+    return [
+        RestrictedSweepPoint(
+            workload=workload,
+            n_sizes=len(policy.block_sizes),
+            grow_factor=policy.grow_factor,
+            clustered=policy.clustered,
+            allocation=result,
+        )
+        for policy, result in zip(policies, results)
+    ]
 
 
 def sweep_restricted_performance(
@@ -126,24 +136,29 @@ def sweep_restricted_performance(
     app_cap_ms: float = 300_000.0,
     seq_cap_ms: float = 300_000.0,
     ladders: dict[int, tuple[str, ...]] | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[RestrictedSweepPoint]:
     """Figure 2: performance tests over the restricted configurations."""
-    points = []
-    for policy in restricted_configurations(ladders):
-        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
-        result = run_performance_experiment(
-            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+    policies = restricted_configurations(ladders)
+    tasks = [
+        ExperimentTask.performance(
+            ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed),
+            app_cap_ms=app_cap_ms,
+            seq_cap_ms=seq_cap_ms,
         )
-        points.append(
-            RestrictedSweepPoint(
-                workload=workload,
-                n_sizes=len(policy.block_sizes),
-                grow_factor=policy.grow_factor,
-                clustered=policy.clustered,
-                performance=result,
-            )
+        for policy in policies
+    ]
+    results = execute_all(tasks, runner)
+    return [
+        RestrictedSweepPoint(
+            workload=workload,
+            n_sizes=len(policy.block_sizes),
+            grow_factor=policy.grow_factor,
+            clustered=policy.clustered,
+            performance=result,
         )
-    return points
+        for policy, result in zip(policies, results)
+    ]
 
 
 def extent_configurations(
@@ -166,21 +181,27 @@ def sweep_extent_fragmentation(
     seed: int = 1991,
     fill_fraction: float | None = None,
     fits: tuple[str, ...] = ("first", "best"),
+    runner: ExperimentRunner | None = None,
 ) -> list[ExtentSweepPoint]:
     """Figure 4 (and Table 4): allocation tests over the extent configs."""
-    points = []
-    for policy in extent_configurations(workload, fits):
-        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
-        result = run_allocation_experiment(config, fill_fraction=fill_fraction)
-        points.append(
-            ExtentSweepPoint(
-                workload=workload,
-                n_ranges=len(policy.range_means),
-                fit=policy.fit,
-                allocation=result,
-            )
+    policies = extent_configurations(workload, fits)
+    tasks = [
+        ExperimentTask.allocation(
+            ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed),
+            fill_fraction=fill_fraction,
         )
-    return points
+        for policy in policies
+    ]
+    results = execute_all(tasks, runner)
+    return [
+        ExtentSweepPoint(
+            workload=workload,
+            n_ranges=len(policy.range_means),
+            fit=policy.fit,
+            allocation=result,
+        )
+        for policy, result in zip(policies, results)
+    ]
 
 
 def sweep_extent_performance(
@@ -190,20 +211,25 @@ def sweep_extent_performance(
     app_cap_ms: float = 300_000.0,
     seq_cap_ms: float = 300_000.0,
     fits: tuple[str, ...] = ("first", "best"),
+    runner: ExperimentRunner | None = None,
 ) -> list[ExtentSweepPoint]:
     """Figure 5: performance tests over the extent configurations."""
-    points = []
-    for policy in extent_configurations(workload, fits):
-        config = ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed)
-        result = run_performance_experiment(
-            config, app_cap_ms=app_cap_ms, seq_cap_ms=seq_cap_ms
+    policies = extent_configurations(workload, fits)
+    tasks = [
+        ExperimentTask.performance(
+            ExperimentConfig(policy=policy, workload=workload, system=system, seed=seed),
+            app_cap_ms=app_cap_ms,
+            seq_cap_ms=seq_cap_ms,
         )
-        points.append(
-            ExtentSweepPoint(
-                workload=workload,
-                n_ranges=len(policy.range_means),
-                fit=policy.fit,
-                performance=result,
-            )
+        for policy in policies
+    ]
+    results = execute_all(tasks, runner)
+    return [
+        ExtentSweepPoint(
+            workload=workload,
+            n_ranges=len(policy.range_means),
+            fit=policy.fit,
+            performance=result,
         )
-    return points
+        for policy, result in zip(policies, results)
+    ]

@@ -80,6 +80,8 @@ class DiskDrive:
         single-track seek per cylinder crossing and a head switch per
         track crossing within a cylinder.  O(1) in the span length.
         """
+        if start_byte < 0:
+            raise InvalidRequestError(f"negative start byte: {start_byte}")
         geometry = self.geometry
         first_track = start_byte // geometry.track_bytes
         last_track = (start_byte + n_bytes - 1) // geometry.track_bytes
@@ -101,6 +103,10 @@ class DiskDrive:
         at the cylinder of the last byte transferred.
         """
         geometry = self.geometry
+        if request.start_byte < 0:
+            raise InvalidRequestError(
+                f"negative start byte: {request.start_byte}"
+            )
         if request.end_byte > geometry.capacity_bytes:
             raise InvalidRequestError(
                 f"request [{request.start_byte}, {request.end_byte}) exceeds "

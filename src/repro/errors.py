@@ -49,6 +49,15 @@ class DiskFullError(AllocationError):
         )
 
 
+class ExperimentError(ReproError):
+    """One or more sweep points failed inside the experiment runner.
+
+    Raised *after* the whole sweep has been given the chance to complete
+    (and successful points cached), carrying every failing point's
+    traceback, so a re-run only repeats the diverging configurations.
+    """
+
+
 class InvalidRequestError(ReproError):
     """A disk or file-system request is malformed (bad offset, size, id)."""
 

@@ -98,14 +98,15 @@ class RandomStream:
         """Choice proportional to ``weights`` (used for operation ratios)."""
         if len(items) != len(weights):
             raise ConfigurationError("items and weights differ in length")
+        for weight in weights:
+            if weight < 0:
+                raise ConfigurationError(f"negative weight: {weight}")
         total = float(sum(weights))
         if total <= 0:
             raise ConfigurationError("weights must sum to a positive value")
         pick = self._random.random() * total
         cumulative = 0.0
         for item, weight in zip(items, weights):
-            if weight < 0:
-                raise ConfigurationError(f"negative weight: {weight}")
             cumulative += weight
             if pick < cumulative:
                 return item

@@ -25,7 +25,7 @@ from ..errors import ConfigurationError, DiskFullError
 from ..fs.filesystem import FileSystem, FsFile
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStream
-from .filetype import AccessPattern, FileType, Operation
+from .filetype import FileType, Operation
 from .ops import pick_offset, plan_operation, sample_initial_size
 from .profiles import Profile
 

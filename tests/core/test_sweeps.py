@@ -1,7 +1,5 @@
 """Tests for the figure sweeps (configuration generation + tiny runs)."""
 
-import pytest
-
 from repro.core.configs import SystemConfig
 from repro.core.sweeps import (
     ExtentSweepPoint,

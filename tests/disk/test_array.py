@@ -7,7 +7,7 @@ from repro.disk.geometry import TINY_DISK, WREN_IV
 from repro.disk.request import IoKind
 from repro.errors import ConfigurationError, InvalidRequestError
 from repro.sim.engine import Simulator
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 
 def make_striped(sim, n_disks=4, stripe=24 * KIB, unit=KIB, geometry=TINY_DISK):

@@ -103,6 +103,26 @@ class TestService:
         )
 
 
+class TestLowerBound:
+    def test_transfer_time_negative_start_raises(self):
+        drive = DiskDrive(TINY_DISK)
+        with pytest.raises(InvalidRequestError):
+            drive.transfer_time(-1, 1024)
+
+    def test_service_negative_start_raises_and_leaves_head(self):
+        # Bypass DiskRequest's own validation to prove the drive checks
+        # the lower bound itself (a negative offset would otherwise yield
+        # a negative cylinder and a bogus seek).
+        drive = DiskDrive(TINY_DISK)
+        broken = object.__new__(DiskRequest)
+        object.__setattr__(broken, "kind", IoKind.READ)
+        object.__setattr__(broken, "start_byte", -4096)
+        object.__setattr__(broken, "n_bytes", 1024)
+        with pytest.raises(InvalidRequestError):
+            drive.service(broken, 0.0)
+        assert drive.head_cylinder == 0
+
+
 class TestRequestValidation:
     def test_negative_start_raises(self):
         with pytest.raises(InvalidRequestError):

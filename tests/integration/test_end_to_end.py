@@ -12,7 +12,6 @@ from repro.core.configs import (
     BuddyPolicy,
     ExperimentConfig,
     ExtentPolicy,
-    FixedPolicy,
     RestrictedPolicy,
     SystemConfig,
 )

@@ -128,6 +128,51 @@ class TestRecordSpan:
         with pytest.raises(ConfigurationError):
             make_meter().record_span(10.0, 5.0, 100)
 
+    def test_span_ending_exactly_on_interval_boundary(self):
+        meter = make_meter()
+        meter.record_span(0.0, 10.0, 500)
+        # All 500 bytes land in interval 0; no phantom empty interval is
+        # created after the boundary.
+        assert meter.interval_utilizations(10.0) == [pytest.approx(0.5)]
+        assert meter.interval_utilizations(20.0) == [pytest.approx(0.5)]
+        assert meter.total_bytes == pytest.approx(500)
+
+    def test_span_straddling_boundary_splits_exactly(self):
+        meter = make_meter()
+        meter.record_span(8.0, 12.0, 400)  # 100 B/ms: 200 each side
+        utils = meter.interval_utilizations(20.0)
+        assert utils[0] == pytest.approx(0.2)
+        assert utils[1] == pytest.approx(0.2)
+
+    def test_span_straddling_start_time_mid_interval(self):
+        # start_time inside the span and off the interval grid: only the
+        # post-warm-up portion is credited, at the span's uniform rate.
+        meter = make_meter(start=15.0)
+        meter.record_span(5.0, 35.0, 3000)  # rate 100 B/ms; 20 ms counted
+        assert meter.total_bytes == pytest.approx(2000)
+        assert meter.interval_utilizations(35.0) == [
+            pytest.approx(1.0),
+            pytest.approx(1.0),
+        ]
+
+    def test_span_ending_exactly_at_start_time_is_warmup(self):
+        meter = make_meter(start=10.0)
+        meter.record_span(0.0, 10.0, 999)
+        assert meter.total_bytes == 0
+        assert meter.interval_utilizations(30.0) == []
+
+    def test_zero_length_span_before_start_ignored(self):
+        meter = make_meter(start=10.0)
+        meter.record_span(4.0, 4.0, 999)
+        assert meter.total_bytes == 0
+
+    def test_zero_length_span_on_boundary_credits_next_interval(self):
+        # A point event exactly on the boundary belongs to the interval
+        # it opens, matching record()'s floor-division bucketing.
+        meter = make_meter()
+        meter.record_span(10.0, 10.0, 300)
+        assert meter.interval_utilizations(20.0) == [0.0, pytest.approx(0.3)]
+
     def test_long_span_never_exceeds_capacity_per_interval(self):
         meter = make_meter(max_rate=100.0)
         # 100 B/ms for 50 ms = exactly the capacity in each interval.

@@ -109,6 +109,15 @@ class TestChoices:
         with pytest.raises(ConfigurationError):
             RandomStream(1).weighted_choice(["a", "b"], [0.0, 0.0])
 
+    def test_weighted_choice_negative_weight_always_raises(self):
+        # The negative weight sits last, where the sampling loop would
+        # almost never reach it (pick lands inside the earlier weights);
+        # validation must be up-front, not dependent on the draw.
+        rng = RandomStream(1)
+        for _ in range(100):
+            with pytest.raises(ConfigurationError):
+                rng.weighted_choice(["a", "b", "c"], [5.0, 5.0, -1.0])
+
     def test_shuffle_is_permutation(self):
         rng = RandomStream(6)
         items = list(range(50))

@@ -6,7 +6,6 @@ from repro.cli import build_parser, main, make_policy
 from repro.core.configs import (
     BuddyPolicy,
     ExtentPolicy,
-    FixedPolicy,
     RestrictedPolicy,
 )
 
@@ -29,6 +28,14 @@ class TestParser:
     def test_bad_policy_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["alloc", "--policy", "zfs"])
+
+    def test_runner_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--jobs", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
 
 
 class TestMakePolicy:
@@ -87,8 +94,48 @@ class TestCommands:
                 "0.03",
                 "--cap-ms",
                 "15000",
+                "--no-cache",
             ]
         )
         assert code == 0
         out = capsys.readouterr().out
         assert "sequential" in out
+
+    def test_alloc_warm_cache_executes_nothing(self, capsys, tmp_path):
+        argv = [
+            "alloc", "--policy", "extent", "--workload", "SC",
+            "--scale", "0.03", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "1 executed, 0 cached" in capsys.readouterr().err
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "0 executed, 1 cached" in captured.err
+        assert "Internal fragmentation" in captured.out
+
+
+class TestExitCodes:
+    """The docstring contract: library errors → stderr + exit 2."""
+
+    def test_configuration_error_exits_2(self, capsys):
+        # grow factor 0 passes argparse but fails policy validation
+        # inside the experiment; main() must catch the ReproError.
+        code = main(
+            [
+                "alloc", "--policy", "restricted", "--grow-factor", "0",
+                "--scale", "0.03", "--no-cache",
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "repro: error:" in captured.err
+        assert "grow factor" in captured.err
+
+    def test_stderr_not_stdout_carries_the_error(self, capsys):
+        main(
+            [
+                "alloc", "--policy", "restricted", "--grow-factor", "0",
+                "--scale", "0.03", "--no-cache",
+            ]
+        )
+        assert "error" not in capsys.readouterr().out

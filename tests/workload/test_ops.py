@@ -1,7 +1,5 @@
 """Unit tests for operation planning and offset selection."""
 
-import pytest
-
 from repro.sim.rng import RandomStream
 from repro.workload.filetype import AccessPattern, Operation
 from repro.workload.ops import (
