@@ -1,0 +1,29 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Unlike the figure/table benchmarks one directory up (which regenerate the
+paper's results), these time the three inner loops every experiment rides
+on:
+
+* ``engine_loop`` — the end-to-end discrete-event engine: heap-scheduled
+  timers, same-timestamp ties, and zero-delay waitable resumptions.
+* ``disk_service`` — :meth:`repro.disk.drive.DiskDrive.service`: seek,
+  positional rotation, and transfer-time math.
+* ``alloc_churn`` — allocator create/extend/truncate/delete churn on the
+  restricted buddy policy.
+
+Run the suite and emit ``BENCH_core.json`` (the repo's perf trajectory
+record)::
+
+    PYTHONPATH=src python -m benchmarks.micro --output BENCH_core.json
+
+Compare a fresh run against a committed baseline (used by CI; exits 1 on
+a >30 % events/sec regression)::
+
+    PYTHONPATH=src python -m benchmarks.micro --check BENCH_core.json
+
+Workloads are seeded and deterministic; only wall-clock time varies
+between runs.  Rates are throughput figures (events/sec, requests/sec,
+ops/sec), so they are comparable across ``--scale`` values.
+"""
+
+from .core import BENCHMARKS, run_suite  # noqa: F401

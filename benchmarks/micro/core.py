@@ -1,0 +1,211 @@
+"""Microbenchmark implementations and the timing harness.
+
+Each benchmark builds a deterministic, seeded workload, times the hot loop
+with :func:`time.perf_counter` over ``repeats`` runs, and reports the best
+(fastest) run as a throughput rate.  The workload construction happens
+outside the timed region, so the numbers isolate the engine / disk /
+allocator inner loops themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.alloc.base import Allocator
+from repro.core.configs import RestrictedPolicy
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import WREN_IV
+from repro.disk.request import DiskRequest, IoKind
+from repro.errors import DiskFullError
+from repro.sim.engine import Simulator, Waitable
+from repro.sim.rng import RandomStream
+
+#: 1K disk units over a 64 M address space for the allocator churn.
+_ALLOC_CAPACITY_UNITS = 65_536
+_ALLOC_UNIT_BYTES = 1024
+
+
+def _best_of(repeats: int, run: Callable[[], tuple[int, float]]) -> tuple[int, float]:
+    """Run ``run`` ``repeats`` times; return (work_items, best_seconds)."""
+    best_n = 0
+    best_s = float("inf")
+    for _ in range(max(1, repeats)):
+        n, seconds = run()
+        if seconds < best_s:
+            best_n, best_s = n, seconds
+    return best_n, best_s
+
+
+# ---------------------------------------------------------------------------
+# engine_loop — end-to-end event engine
+# ---------------------------------------------------------------------------
+
+
+def bench_engine_loop(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """End-to-end engine microbenchmark.
+
+    ``n_chains`` ping-pong processes each round-trip through one heap-
+    scheduled timer plus one zero-delay waitable resumption, with delays
+    quantized to 0.25 ms so same-timestamp ties are common.  A second
+    population of plain sleepers exercises the pure timer path.  This is
+    the "end-to-end engine microbenchmark" guarded by CI.
+    """
+    until_ms = max(50.0, 4000.0 * scale)
+    n_chains = 48
+    n_sleepers = 16
+
+    def run() -> tuple[int, float]:
+        sim = Simulator()
+        rng = RandomStream(7, "micro-engine")
+        # Quantized delays: heavy (time, seq) tie traffic.
+        delays = tuple(
+            0.25 * rng.uniform_int(1, 12) for _ in range(1024)
+        )
+
+        def chain(offset: int):
+            i = offset
+            while True:
+                waitable = Waitable()
+                sim.schedule(delays[i & 1023], waitable.succeed)
+                yield waitable  # resumes via the zero-delay path
+                i += 3
+
+        def sleeper(offset: int):
+            i = offset
+            while True:
+                yield delays[(i * 7) & 1023]
+                i += 1
+
+        for k in range(n_chains):
+            sim.process(chain(k))
+        for k in range(n_sleepers):
+            sim.process(sleeper(k))
+        start = time.perf_counter()
+        sim.run(until=until_ms)
+        elapsed = time.perf_counter() - start
+        return sim.events_executed, elapsed
+
+    events, seconds = _best_of(repeats, run)
+    return {
+        "metric": "events_per_sec",
+        "value": events / seconds,
+        "work": events,
+        "best_s": seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# disk_service — DiskDrive.service hot path
+# ---------------------------------------------------------------------------
+
+
+def bench_disk_service(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """Time :meth:`DiskDrive.service` over a sequential/random request mix.
+
+    Requests are prebuilt outside the timed loop: three-quarters continue
+    the previous transfer (the paper's sequential-read regime, which
+    exercises the skew/rotation math), one quarter seek to a random
+    cylinder.
+    """
+    n_requests = max(500, int(120_000 * scale))
+    rng = RandomStream(11, "micro-disk")
+    capacity = WREN_IV.capacity_bytes
+    requests = []
+    position = 0
+    for i in range(n_requests):
+        if i % 4 == 3:
+            position = rng.uniform_int(0, (capacity - 1) // 8192 - 1) * 8192
+        n_bytes = 8192 if i % 2 == 0 else 24 * 1024
+        if position + n_bytes > capacity:
+            position = 0
+        requests.append(DiskRequest(IoKind.READ, position, n_bytes))
+        position += n_bytes
+
+    def run() -> tuple[int, float]:
+        drive = DiskDrive(WREN_IV)
+        clock = 0.0
+        start = time.perf_counter()
+        for request in requests:
+            breakdown = drive.service(request, clock)
+            clock += breakdown.total_ms
+        elapsed = time.perf_counter() - start
+        return n_requests, elapsed
+
+    count, seconds = _best_of(repeats, run)
+    return {
+        "metric": "requests_per_sec",
+        "value": count / seconds,
+        "work": count,
+        "best_s": seconds,
+    }
+
+
+# ---------------------------------------------------------------------------
+# alloc_churn — allocator inner loops
+# ---------------------------------------------------------------------------
+
+
+def _churn(allocator: Allocator, rng: RandomStream, n_ops: int) -> int:
+    files: list[Any] = []
+    performed = 0
+    for i in range(n_ops):
+        op = i % 8
+        try:
+            if op in (0, 1) or not files:
+                handle = allocator.create(size_hint_units=rng.uniform_int(1, 64))
+                allocator.extend(handle, rng.uniform_int(1, 64))
+                files.append(handle)
+            elif op in (2, 3, 4):
+                allocator.extend(rng.choice(files), rng.uniform_int(1, 32))
+            elif op == 5:
+                handle = rng.choice(files)
+                if handle.allocated_units > 1:
+                    allocator.truncate(handle, handle.allocated_units // 2)
+            else:
+                index = rng.uniform_int(0, len(files) - 1)
+                allocator.delete(files.pop(index))
+        except DiskFullError:
+            while len(files) > 4:
+                allocator.delete(files.pop())
+        performed += 1
+    return performed
+
+
+def bench_alloc_churn(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """Create/extend/truncate/delete churn on the restricted buddy policy."""
+    n_ops = max(200, int(30_000 * scale))
+
+    def run() -> tuple[int, float]:
+        rng = RandomStream(13, "micro-alloc")
+        allocator = RestrictedPolicy().build(
+            _ALLOC_CAPACITY_UNITS, _ALLOC_UNIT_BYTES, rng.fork("policy")
+        )
+        ops_rng = rng.fork("ops")
+        start = time.perf_counter()
+        performed = _churn(allocator, ops_rng, n_ops)
+        elapsed = time.perf_counter() - start
+        return performed, elapsed
+
+    count, seconds = _best_of(repeats, run)
+    return {
+        "metric": "ops_per_sec",
+        "value": count / seconds,
+        "work": count,
+        "best_s": seconds,
+    }
+
+
+#: Registry: name -> benchmark callable(scale, repeats) -> result dict.
+BENCHMARKS: dict[str, Callable[[float, int], dict[str, Any]]] = {
+    "engine_loop": bench_engine_loop,
+    "disk_service": bench_disk_service,
+    "alloc_churn": bench_alloc_churn,
+}
+
+
+def run_suite(scale: float = 1.0, repeats: int = 3) -> dict[str, dict[str, Any]]:
+    """Run every registered microbenchmark; return name -> result."""
+    return {
+        name: bench(scale, repeats) for name, bench in sorted(BENCHMARKS.items())
+    }

@@ -21,9 +21,14 @@ the jobs count or cache state.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
+import pstats
 import sys
+import time
 
 from .core.comparison import figure6
+from .core.experiments import run_performance_experiment
 from .core.runner import ExperimentRunner, ExperimentTask, default_cache_dir
 from .core.configs import (
     BuddyPolicy,
@@ -39,6 +44,7 @@ from .core.configs import (
 )
 from .disk.geometry import WREN_IV
 from .errors import ReproError
+from .sim.engine import Simulator
 from .report.figures import GroupedBarChart
 from .report.summary import render_performance_summary
 from .report.tables import Table
@@ -158,6 +164,64 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one performance-experiment point: cProfile + engine counters.
+
+    Prints three sections: the engine's own per-subsystem event/time
+    breakdown (:class:`repro.sim.engine.SimProfile`), the scheduler
+    counters (events/sec, pending, lazy-compaction count), and cProfile's
+    hottest functions.  This is a diagnostic command — output contains
+    wall-clock timings and is not byte-stable between runs.
+    """
+    system = SystemConfig(scale=args.scale)
+    policy = make_policy(args.policy, args.workload, args)
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed
+    )
+    sims: list[Simulator] = []
+
+    def factory() -> Simulator:
+        sim = Simulator()
+        sim.enable_profiling()
+        sims.append(sim)
+        return sim
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    result = run_performance_experiment(
+        config,
+        app_cap_ms=args.cap_ms,
+        seq_cap_ms=args.cap_ms,
+        simulator_factory=factory,
+    )
+    profiler.disable()
+    wall_s = time.perf_counter() - started
+    sim = sims[0]
+
+    print(f"profile: {config.describe()}")
+    print(
+        f"wall {wall_s:.2f}s, simulated {sim.now / 1000.0:.1f}s, "
+        f"{sim.events_executed:,d} events "
+        f"({sim.events_executed / wall_s:,.0f} events/sec), "
+        f"{sim.pending_events} pending, {sim.compactions} heap compactions"
+    )
+    print(
+        f"application {result.application.percent:.1f}%  "
+        f"sequential {result.sequential.percent:.1f}% of max bandwidth"
+    )
+    print()
+    print("-- engine: per-subsystem event/time breakdown --")
+    print(sim.profile.render())
+    print()
+    print(f"-- cProfile: top {args.top} functions by internal time --")
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("tottime").print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     system = SystemConfig()
     table = Table(["Parameter", "Value"], title="Table 1: the simulated disk system")
@@ -187,10 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser, with_policy: bool = True) -> None:
+    def add_base(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", type=float, default=0.1,
                        help="disk scale factor (1.0 = the paper's 2.8G)")
         p.add_argument("--seed", type=int, default=1991)
+
+    def add_runner(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes for independent sweep points "
                             "(0 = one per CPU; results are identical to --jobs 1)")
@@ -199,16 +265,23 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default: {default_cache_dir()})")
         p.add_argument("--no-cache", action="store_true",
                        help="always simulate; neither read nor write the cache")
+
+    def add_policy(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
+        p.add_argument("--workload", choices=("TS", "TP", "SC"), default="SC")
+        p.add_argument("--grow-factor", type=int, default=1,
+                       help="restricted buddy grow factor")
+        p.add_argument("--unclustered", action="store_true",
+                       help="disable restricted-buddy region clustering")
+        p.add_argument("--extent-ranges", type=int, default=3,
+                       choices=range(1, 6), help="extent range count")
+        p.add_argument("--fit", choices=("first", "best"), default="first")
+
+    def add_common(p: argparse.ArgumentParser, with_policy: bool = True) -> None:
+        add_base(p)
+        add_runner(p)
         if with_policy:
-            p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
-            p.add_argument("--workload", choices=("TS", "TP", "SC"), default="SC")
-            p.add_argument("--grow-factor", type=int, default=1,
-                           help="restricted buddy grow factor")
-            p.add_argument("--unclustered", action="store_true",
-                           help="disable restricted-buddy region clustering")
-            p.add_argument("--extent-ranges", type=int, default=3,
-                           choices=range(1, 6), help="extent range count")
-            p.add_argument("--fit", choices=("first", "best"), default="first")
+            add_policy(p)
 
     alloc = sub.add_parser("alloc", help="run the allocation (fragmentation) test")
     add_common(alloc)
@@ -224,6 +297,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(compare, with_policy=False)
     compare.add_argument("--cap-ms", type=float, default=40_000.0)
     compare.set_defaults(func=cmd_compare)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one perf point: cProfile + engine subsystem counters",
+    )
+    add_base(profile)
+    add_policy(profile)
+    profile.add_argument("--cap-ms", type=float, default=20_000.0,
+                         help="simulated-time cap per phase (small by default: "
+                              "profiling needs samples, not stabilization)")
+    profile.add_argument("--top", type=int, default=12,
+                         help="cProfile rows to print")
+    profile.set_defaults(func=cmd_profile)
 
     table1 = sub.add_parser("table1", help="print the simulated disk system")
     table1.set_defaults(func=cmd_table1)

@@ -17,6 +17,7 @@ sustained sequential bandwidth, the paper's normalization.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import ConfigurationError, DiskFullError
 from ..fs.filesystem import FileSystem
@@ -240,14 +241,21 @@ def run_performance_experiment(
     tolerance: float = 0.001,
     run_application: bool = True,
     run_sequential: bool = True,
+    simulator_factory: Callable[[], Simulator] | None = None,
 ) -> PerformanceResult:
     """The §3 application and sequential performance tests.
 
     Phases: populate (instant) → prefill to the 90–95 % window (instant)
     → short timed warm-up → application test to stabilization → switch
     every user to whole-file operations → sequential test.
+
+    ``simulator_factory`` lets callers supply the engine — e.g. one with
+    profiling enabled (``repro profile``) or with the zero-delay fast
+    path disabled (the determinism regression tests).  The factory must
+    return a fresh :class:`Simulator`; results are identical whichever
+    engine variant it builds.
     """
-    sim = Simulator()
+    sim = Simulator() if simulator_factory is None else simulator_factory()
     array = config.system.build_array(sim)
     rng = RandomStream(config.seed, "perf-experiment")
     allocator = config.policy.build(

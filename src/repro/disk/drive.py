@@ -11,6 +11,14 @@ Making rotation *positional* rather than sampled is what gives the model
 the paper's sensitivity to allocation contiguity: logically sequential
 blocks placed contiguously are read at media rate, while the same blocks
 scattered by a poor allocator pay a seek plus most of a rotation each.
+
+:meth:`DiskDrive.service` runs once per simulated disk request — millions
+of times per experiment — so the drive caches every geometry-derived
+constant at construction (seek table, skew fractions, track/cylinder
+sizes) and keeps the arithmetic in :meth:`service`/:meth:`start_angle`
+expression-for-expression identical to the naive formulation, which keeps
+simulated results bit-identical while avoiding the repeated property
+lookups and seek-model recomputation.
 """
 
 from __future__ import annotations
@@ -38,16 +46,25 @@ class DiskDrive:
         self._head_switch_skew = (
             geometry.head_switch_ms / geometry.rotation_ms
         ) % 1.0
+        # Hot-path constants (service runs once per simulated request).
+        self._track_bytes = geometry.track_bytes
+        self._cylinder_bytes = geometry.cylinder_bytes
+        self._platters = geometry.platters
+        self._rotation_ms = geometry.rotation_ms
+        self._head_switch_ms = geometry.head_switch_ms
+        self._capacity_bytes = geometry.capacity_bytes
+        self._seek_one = geometry.seek_time(1)
+        self._seek_table = geometry.seek_table
 
     # -- address decomposition ------------------------------------------------
 
     def cylinder_of(self, byte_offset: int) -> int:
         """Cylinder holding ``byte_offset`` (cylinder-major layout)."""
-        return byte_offset // self.geometry.cylinder_bytes
+        return byte_offset // self._cylinder_bytes
 
     def track_of(self, byte_offset: int) -> int:
         """Absolute track index holding ``byte_offset``."""
-        return byte_offset // self.geometry.track_bytes
+        return byte_offset // self._track_bytes
 
     def start_angle(self, byte_offset: int) -> float:
         """Angular address of a byte, in fractions of a revolution.
@@ -56,20 +73,19 @@ class DiskDrive:
         preceding cylinder crossings and head switches so sequential
         layout is rotationally seamless.
         """
-        geometry = self.geometry
-        track = byte_offset // geometry.track_bytes
-        cylinder = track // geometry.platters
-        head = track % geometry.platters
-        in_track = (byte_offset % geometry.track_bytes) / geometry.track_bytes
+        track_bytes = self._track_bytes
+        track, in_track_bytes = divmod(byte_offset, track_bytes)
+        cylinder, head = divmod(track, self._platters)
+        in_track = in_track_bytes / track_bytes
         skew = (
             cylinder * self._cylinder_skew
-            + (cylinder * (geometry.platters - 1) + head) * self._head_switch_skew
+            + (cylinder * (self._platters - 1) + head) * self._head_switch_skew
         )
         return (in_track + skew) % 1.0
 
     def angle_at(self, time_ms: float) -> float:
         """The drive's angular position at simulated ``time_ms``."""
-        return (time_ms / self.geometry.rotation_ms) % 1.0
+        return (time_ms / self._rotation_ms) % 1.0
 
     # -- timing -------------------------------------------------------------
 
@@ -79,21 +95,27 @@ class DiskDrive:
         One revolution's worth of time per track's worth of bytes, plus a
         single-track seek per cylinder crossing and a head switch per
         track crossing within a cylinder.  O(1) in the span length.
+
+        Raises:
+            InvalidRequestError: on a negative start or a non-positive
+                length (a zero-length span would place its "last byte"
+                before its first and yield negative track crossings).
         """
         if start_byte < 0:
             raise InvalidRequestError(f"negative start byte: {start_byte}")
-        geometry = self.geometry
-        first_track = start_byte // geometry.track_bytes
-        last_track = (start_byte + n_bytes - 1) // geometry.track_bytes
-        first_cylinder = first_track // geometry.platters
-        last_cylinder = last_track // geometry.platters
+        if n_bytes <= 0:
+            raise InvalidRequestError(f"non-positive transfer length: {n_bytes}")
+        track_bytes = self._track_bytes
+        platters = self._platters
+        first_track = start_byte // track_bytes
+        last_track = (start_byte + n_bytes - 1) // track_bytes
         track_crossings = last_track - first_track
-        cylinder_crossings = last_cylinder - first_cylinder
+        cylinder_crossings = last_track // platters - first_track // platters
         head_switches = track_crossings - cylinder_crossings
         return (
-            geometry.transfer_ms(n_bytes)
-            + cylinder_crossings * geometry.seek_time(1)
-            + head_switches * geometry.head_switch_ms
+            (n_bytes / track_bytes) * self._rotation_ms
+            + cylinder_crossings * self._seek_one
+            + head_switches * self._head_switch_ms
         )
 
     def service(self, request: DiskRequest, start_time: float) -> ServiceBreakdown:
@@ -102,28 +124,34 @@ class DiskDrive:
         Returns the seek / rotation / transfer breakdown.  The head is left
         at the cylinder of the last byte transferred.
         """
-        geometry = self.geometry
-        if request.start_byte < 0:
+        start_byte = request.start_byte
+        end_byte = request.end_byte
+        if start_byte < 0:
+            raise InvalidRequestError(f"negative start byte: {start_byte}")
+        if end_byte > self._capacity_bytes:
             raise InvalidRequestError(
-                f"negative start byte: {request.start_byte}"
+                f"request [{start_byte}, {end_byte}) exceeds "
+                f"drive capacity {self._capacity_bytes}"
             )
-        if request.end_byte > geometry.capacity_bytes:
-            raise InvalidRequestError(
-                f"request [{request.start_byte}, {request.end_byte}) exceeds "
-                f"drive capacity {geometry.capacity_bytes}"
-            )
-        target_cylinder = self.cylinder_of(request.start_byte)
-        seek = geometry.seek_time(abs(target_cylinder - self.head_cylinder))
+        cylinder_bytes = self._cylinder_bytes
+        target_cylinder = start_byte // cylinder_bytes
+        seek = self._seek_table[
+            target_cylinder - self.head_cylinder
+            if target_cylinder >= self.head_cylinder
+            else self.head_cylinder - target_cylinder
+        ]
         arrival = start_time + seek
-        target_angle = self.start_angle(request.start_byte)
-        rotation_fraction = (target_angle - self.angle_at(arrival)) % 1.0
+        target_angle = self.start_angle(start_byte)
+        rotation_fraction = (
+            target_angle - (arrival / self._rotation_ms) % 1.0
+        ) % 1.0
         if rotation_fraction > 1.0 - 1e-9:
             # Floating point landed an epsilon past the target: a strictly
             # sequential continuation must not pay a phantom revolution.
             rotation_fraction = 0.0
-        rotation_delay = rotation_fraction * geometry.rotation_ms
-        transfer = self.transfer_time(request.start_byte, request.n_bytes)
-        self.head_cylinder = self.cylinder_of(request.end_byte - 1)
+        rotation_delay = rotation_fraction * self._rotation_ms
+        transfer = self.transfer_time(start_byte, request.n_bytes)
+        self.head_cylinder = (end_byte - 1) // cylinder_bytes
         return ServiceBreakdown(seek, rotation_delay, transfer)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

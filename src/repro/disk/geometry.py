@@ -16,6 +16,7 @@ revolutions plus one track-to-track seek per cylinder).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from ..errors import ConfigurationError
 from ..units import KIB, MIB
@@ -85,6 +86,18 @@ class DiskGeometry:
         if cylinder_distance == 0:
             return 0.0
         return self.single_track_seek_ms + cylinder_distance * self.incremental_seek_ms
+
+    @cached_property
+    def seek_table(self) -> tuple[float, ...]:
+        """Seek time for every possible head movement, indexed by distance.
+
+        ``seek_table[d] == seek_time(d)`` for ``0 <= d < cylinders`` (the
+        largest movement a drive can make).  :class:`repro.disk.drive.
+        DiskDrive` looks seek times up here instead of recomputing the
+        linear model per request; the table is built lazily once per
+        geometry and costs ``cylinders`` floats.
+        """
+        return tuple(self.seek_time(d) for d in range(self.cylinders))
 
     @property
     def full_track_transfer_ms(self) -> float:

@@ -48,6 +48,7 @@ class QueuedDrive:
         self.sim = sim
         self.owner = owner
         self.discipline = discipline
+        self._use_elevator = discipline == "elevator"
         self.drive = DiskDrive(geometry)
         self._direction = 1  # elevator sweep direction
         self._queue: deque[tuple[DiskRequest, Waitable, float]] = deque()
@@ -88,18 +89,20 @@ class QueuedDrive:
             self._busy = False
             return
         self._busy = True
-        if self.discipline == "elevator" and len(self._queue) > 1:
+        if self._use_elevator and len(self._queue) > 1:
             request, completion, submitted_at = self._pop_elevator()
         else:
             request, completion, submitted_at = self._queue.popleft()
-        self.queue_wait.add(sim.now - submitted_at)
-        breakdown = self.drive.service(request, sim.now)
-        self.busy_ms += breakdown.total_ms
+        now = sim.now
+        self.queue_wait.add(now - submitted_at)
+        breakdown = self.drive.service(request, now)
+        total_ms = breakdown.total_ms
+        self.busy_ms += total_ms
         self.bytes_moved += request.n_bytes
         self.requests_served += 1
-        self.latency.add(breakdown.total_ms)
+        self.latency.add(total_ms)
         sim.schedule(
-            breakdown.total_ms, self._complete, completion, breakdown, request.n_bytes
+            total_ms, self._complete, completion, breakdown, request.n_bytes
         )
 
     def _complete(

@@ -21,10 +21,21 @@ Example:
     >>> sim.run()
     >>> log
     [5.0]
+
+Determinism guarantee: events fire in strictly nondecreasing
+``(time, seq)`` order, where ``seq`` is a global creation counter.  The
+zero-delay fast path (:meth:`Simulator.schedule_immediate`, used by
+:meth:`Waitable.succeed` and already-done yields) provably preserves that
+order — see ``docs/MODEL.md`` — and can be disabled with
+``Simulator(immediate_queue=False)`` to fall back to the reference
+pure-heap scheduler, which fires the exact same events in the exact same
+order.
 """
 
 from __future__ import annotations
 
+import time as _time
+from heapq import heappop as _heappop
 from typing import Any, Callable, Generator, Iterable
 
 from ..errors import SimulationError
@@ -62,8 +73,11 @@ class Waitable:
         self.done = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for callback in waiters:
-            sim.schedule(0.0, callback, value)
+        if waiters:
+            push_immediate = sim._push_immediate
+            now = sim.now
+            for callback in waiters:
+                push_immediate(now, callback, (value,))
 
 
 class AllOf(Waitable):
@@ -130,11 +144,12 @@ class Process(Waitable):
         except StopIteration as stop:
             self.succeed(sim, stop.value)
             return
-        if isinstance(target, (int, float)):
+        cls = target.__class__
+        if cls is float or cls is int or isinstance(target, (int, float)):
             sim.schedule(float(target), self._resume, None)
         elif isinstance(target, Waitable):
             if target.done:
-                sim.schedule(0.0, self._resume, target.value)
+                sim.schedule_immediate(self._resume, target.value)
             else:
                 target.on_success(self._resume)
         else:
@@ -148,18 +163,91 @@ class Process(Waitable):
         return f"<Process {self.name} {state}>"
 
 
+class SimProfile:
+    """Per-subsystem event counts and wall-clock time.
+
+    Populated by :meth:`Simulator.run` when profiling is enabled: each
+    executed event is attributed to the module that defined its callback
+    (``repro.disk.queue``, ``repro.sim.engine``, ...), giving a live
+    breakdown of where simulation wall-clock time goes without external
+    tooling.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        #: module name -> [events executed, wall seconds in callbacks]
+        self.data: dict[str, list[float]] = {}
+
+    def record(self, callback: Callable[..., Any], seconds: float) -> None:
+        """Attribute one executed event to the callback's module."""
+        module = getattr(callback, "__module__", None) or "<unknown>"
+        entry = self.data.get(module)
+        if entry is None:
+            entry = self.data[module] = [0, 0.0]
+        entry[0] += 1
+        entry[1] += seconds
+
+    @property
+    def total_events(self) -> int:
+        """Events recorded across all subsystems."""
+        return int(sum(entry[0] for entry in self.data.values()))
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds spent inside event callbacks."""
+        return sum(entry[1] for entry in self.data.values())
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        """(subsystem, events, seconds) rows, most expensive first."""
+        return sorted(
+            ((name, int(n), s) for name, (n, s) in self.data.items()),
+            key=lambda row: row[2],
+            reverse=True,
+        )
+
+    def render(self) -> str:
+        """Human-readable table of the per-subsystem breakdown."""
+        lines = [f"{'subsystem':32s} {'events':>12s} {'seconds':>10s}"]
+        for name, events, seconds in self.rows():
+            lines.append(f"{name:32s} {events:>12,d} {seconds:>10.3f}")
+        lines.append(
+            f"{'total':32s} {self.total_events:>12,d} "
+            f"{self.total_seconds:>10.3f}"
+        )
+        return "\n".join(lines)
+
+
 class Simulator:
     """The simulation clock and scheduler.
 
+    Args:
+        immediate_queue: route zero-delay events through the FIFO fast
+            path (the default).  ``False`` selects the reference pure-heap
+            scheduler; both fire identical events in identical order, and
+            the test suite asserts it.
+
     Attributes:
         now: current simulated time in milliseconds.
+        profile: a :class:`SimProfile` when profiling is enabled
+            (:meth:`enable_profiling`), else None.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, immediate_queue: bool = True) -> None:
         self.now = 0.0
         self._heap = EventHeap()
         self._stopped = False
         self._events_executed = 0
+        self._immediate_enabled = immediate_queue
+        # Bound once: the zero-delay scheduling primitive.  With the fast
+        # path disabled every "immediate" event goes through the heap at
+        # the current time, which fires the same events in the same order.
+        if immediate_queue:
+            self._push_immediate = self._heap.push_immediate
+        else:
+            self._push_immediate = self._heap.push
+        self._push_timer = self._heap.push
+        self.profile: SimProfile | None = None
 
     # -- scheduling -------------------------------------------------------
 
@@ -169,7 +257,20 @@ class Simulator:
         """Schedule ``callback(self, *args)`` after ``delay`` milliseconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        return self._heap.push(self.now + delay, callback, args)
+        if delay == 0:
+            return self._push_immediate(self.now, callback, args)
+        return self._push_timer(self.now + delay, callback, args)
+
+    def schedule_immediate(
+        self, callback: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Schedule ``callback(self, *args)`` at the current time.
+
+        Equivalent to ``schedule(0.0, ...)`` but skips the delay checks;
+        this is the zero-delay resumption fast path used by
+        :meth:`Waitable.succeed`.
+        """
+        return self._push_immediate(self.now, callback, args)
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
@@ -179,18 +280,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
+        if time == self.now:
+            return self._push_immediate(self.now, callback, args)
         return self._heap.push(time, callback, args)
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event so it never fires."""
         if not event.cancelled:
             event.cancel()
-            self._heap.note_cancelled()
+            self._heap.note_cancelled(event)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Register a generator as a process starting at the current time."""
         process = Process(generator, name)
-        self.schedule(0.0, process._start)
+        self.schedule_immediate(process._start)
         return process
 
     def timeout(self, delay: float) -> Waitable:
@@ -208,33 +311,122 @@ class Simulator:
     ) -> None:
         """Run events in time order.
 
-        Stops when the heap empties, when the clock would pass ``until``
-        (the clock is then advanced to exactly ``until``), when
+        Stops when no live events remain, when the clock would pass
+        ``until`` (the clock is then advanced to exactly ``until``), when
         ``stop_when()`` returns True after an event executes, or when
         :meth:`stop` is called from inside an event.
         """
         self._stopped = False
-        while len(self._heap) > 0 and not self._stopped:
-            next_time = self._heap.peek_time()
-            if next_time is None:
+        if self.profile is not None:
+            return self._run_profiled(until, stop_when)
+        heap = self._heap
+        # The two event queues, aliased for the duration of the loop.
+        # EventHeap._compact mutates the heap list in place, so these
+        # references stay valid across callbacks that cancel events.
+        heap_list = heap._heap
+        immediate = heap._immediate
+        horizon = float("inf") if until is None else until
+        executed = 0
+        try:
+            while not self._stopped:
+                # -- fused "what fires next" (mirrors EventHeap.pop_next;
+                #    keep the two in sync) --------------------------------
+                while immediate and immediate[0].cancelled:
+                    immediate.popleft()
+                while heap_list and heap_list[0][2].cancelled:
+                    _heappop(heap_list)
+                    heap._garbage -= 1
+                event = None
+                if immediate:
+                    front = immediate[0]
+                    if heap_list:
+                        head = heap_list[0]
+                        head_time = head[0]
+                        if head_time < front.time or (
+                            head_time == front.time and head[1] < front.seq
+                        ):
+                            if head_time > horizon:
+                                break
+                            _heappop(heap_list)
+                            event = head[2]
+                    if event is None:
+                        if front.time > horizon:
+                            break
+                        immediate.popleft()
+                        event = front
+                elif heap_list:
+                    head = heap_list[0]
+                    if head[0] > horizon:
+                        break
+                    _heappop(heap_list)
+                    event = head[2]
+                else:
+                    break
+                heap._live -= 1
+                event_time = event.time
+                if event_time < self.now:
+                    raise SimulationError(
+                        "event heap returned an event in the past"
+                    )
+                self.now = event_time
+                event.callback(self, *event.args)
+                executed += 1
+                if stop_when is not None and stop_when():
+                    return
+        finally:
+            # Nothing in the simulation reads this mid-run; batching the
+            # counter keeps one attribute RMW out of the per-event loop.
+            self._events_executed += executed
+        if until is not None and not self._stopped:
+            if len(heap) > 0:
+                self.now = until  # next event lies beyond the horizon
+            else:
+                self.now = max(self.now, until)
+
+    def _run_profiled(
+        self,
+        until: float | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> None:
+        """The run loop with per-subsystem accounting (see :class:`SimProfile`)."""
+        heap = self._heap
+        profile = self.profile
+        perf_counter = _time.perf_counter
+        while not self._stopped:
+            event = heap.pop_next(until)
+            if event is None:
                 break
-            if until is not None and next_time > until:
-                self.now = until
-                return
-            event = self._heap.pop()
             if event.time < self.now:
-                raise SimulationError("event heap returned an event in the past")
+                raise SimulationError(
+                    "event heap returned an event in the past"
+                )
             self.now = event.time
-            event.callback(self, *event.args)
+            callback = event.callback
+            started = perf_counter()
+            callback(self, *event.args)
+            profile.record(callback, perf_counter() - started)
             self._events_executed += 1
             if stop_when is not None and stop_when():
                 return
         if until is not None and not self._stopped:
-            self.now = max(self.now, until)
+            if len(heap) > 0:
+                self.now = until
+            else:
+                self.now = max(self.now, until)
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
+
+    def enable_profiling(self) -> SimProfile:
+        """Attach (or return the existing) per-subsystem profile.
+
+        Profiling adds two clock reads per event, so leave it off for
+        measurement runs; results are unaffected either way.
+        """
+        if self.profile is None:
+            self.profile = SimProfile()
+        return self.profile
 
     @property
     def pending_events(self) -> int:
@@ -245,6 +437,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Total number of events executed since construction."""
         return self._events_executed
+
+    @property
+    def compactions(self) -> int:
+        """Lazy heap compactions performed (cancel-heavy workloads)."""
+        return self._heap.compactions
 
     # -- convenience ------------------------------------------------------
 

@@ -1,17 +1,41 @@
-"""Event heap for the discrete-event engine.
+"""Event scheduling structures for the discrete-event engine.
 
 The paper's simulator maintains scheduled events "in a heap, sorted by their
 scheduled time"; this module is that heap.  Events are ordered by
 ``(time, sequence)`` so that ties break in FIFO order, which keeps runs
 deterministic under a fixed seed.
+
+Hot-path design (every simulated event passes through here, so the layout
+matters):
+
+* The heap stores ``(time, seq, event)`` tuples, not :class:`Event`
+  objects.  ``seq`` is unique, so heap comparisons always resolve on the
+  first two tuple slots in C — ``Event.__lt__`` is kept for API
+  compatibility but never called by the heap.
+* Zero-delay events (waitable resumptions, already-done yields) go through
+  a FIFO *immediate queue* instead of the heap.  Every immediate event
+  carries the current simulated time and a globally increasing ``seq``, so
+  merging the queue front with the heap head by ``(time, seq)`` reproduces
+  exactly the order a single heap would produce — see
+  ``docs/MODEL.md`` ("Engine hot path and determinism guarantees").
+* Cancelled events are discarded lazily: entries at the front are dropped
+  during ``pop``/``peek``, and when mid-heap garbage passes a threshold the
+  heap is compacted in one O(n) pass (``compactions`` counts these).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable
 
 from ..errors import SimulationError
+
+#: Compaction triggers once at least this many cancelled entries are
+#: buried in the heap *and* they make up half of it.  Small enough that
+#: cancel-heavy workloads stay O(log live), large enough that compaction
+#: cost amortizes to O(1) per cancellation.
+COMPACTION_MIN_GARBAGE = 64
 
 
 class Event:
@@ -19,10 +43,10 @@ class Event:
 
     Events are created through :meth:`repro.sim.engine.Simulator.schedule`
     and compare by scheduled time (ties broken by creation order).  A
-    cancelled event stays in the heap but is skipped when popped.
+    cancelled event stays in its queue but is skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "immediate")
 
     def __init__(
         self,
@@ -36,6 +60,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.immediate = False
 
     def cancel(self) -> None:
         """Mark the event so the engine discards it instead of firing it."""
@@ -51,12 +76,21 @@ class Event:
 
 
 class EventHeap:
-    """Min-heap of :class:`Event` objects keyed by ``(time, seq)``."""
+    """Min-heap of events keyed by ``(time, seq)`` plus an immediate FIFO.
+
+    ``push`` inserts a timer event into the heap; ``push_immediate``
+    appends a zero-delay event (at the caller's *current* time) to the
+    FIFO.  ``pop_next`` merges the two by ``(time, seq)``, which is the
+    engine's single fused "what fires next" operation.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
+        self._immediate: deque[Event] = deque()
         self._seq = 0
         self._live = 0
+        self._garbage = 0  # cancelled entries still buried in _heap
+        self.compactions = 0
 
     def __len__(self) -> int:
         return self._live
@@ -64,41 +98,145 @@ class EventHeap:
     def push(
         self, time: float, callback: Callable[..., Any], args: tuple[Any, ...] = ()
     ) -> Event:
-        """Insert a new event and return it (for potential cancellation)."""
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
+        """Insert a new timer event and return it (for potential cancellation)."""
+        seq = self._seq
+        # Allocate without the __init__ frame: this and push_immediate are
+        # the two object constructions on the per-event hot path.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.immediate = False
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    def push_immediate(
+        self, now: float, callback: Callable[..., Any], args: tuple[Any, ...] = ()
+    ) -> Event:
+        """Append a zero-delay event at time ``now`` to the immediate FIFO.
+
+        ``now`` must be the engine's current clock: the determinism of the
+        merge in :meth:`pop_next` relies on every queued immediate event
+        sharing the current time and carrying a larger ``seq`` than any
+        event created before it.
+        """
+        seq = self._seq
+        event = Event.__new__(Event)
+        event.time = now
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.immediate = True
+        self._seq = seq + 1
+        self._live += 1
+        self._immediate.append(event)
+        return event
+
+    # -- retrieval ----------------------------------------------------------
+
+    def pop_next(self, until: float | None = None) -> Event | None:
+        """Remove and return the next live event in ``(time, seq)`` order.
+
+        Returns None when no live event remains, or when the next one is
+        scheduled strictly after ``until`` (that event stays queued).  This
+        fuses the engine's former ``peek_time()`` + ``pop()`` pair into a
+        single pass over the queue heads.
+        """
+        heap = self._heap
+        immediate = self._immediate
+        while immediate and immediate[0].cancelled:
+            immediate.popleft()
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._garbage -= 1
+        if immediate:
+            front = immediate[0]
+            if heap:
+                head_time, head_seq, head_event = heap[0]
+                if head_time < front.time or (
+                    head_time == front.time and head_seq < front.seq
+                ):
+                    if until is not None and head_time > until:
+                        return None
+                    heapq.heappop(heap)
+                    self._live -= 1
+                    return head_event
+            if until is not None and front.time > until:
+                return None
+            immediate.popleft()
+            self._live -= 1
+            return front
+        if not heap:
+            return None
+        if until is not None and heap[0][0] > until:
+            return None
+        event = heapq.heappop(heap)[2]
+        self._live -= 1
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event.
 
         Raises:
-            SimulationError: when the heap holds no live events.
+            SimulationError: when no live events remain.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        raise SimulationError("pop from empty event heap")
+        event = self.pop_next()
+        if event is None:
+            raise SimulationError("pop from empty event heap")
+        return event
 
     def peek_time(self) -> float | None:
         """Return the time of the next live event, or None when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        immediate = self._immediate
+        while immediate and immediate[0].cancelled:
+            immediate.popleft()
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._garbage -= 1
+        if immediate:
+            front = immediate[0]
+            if heap and heap[0][0] < front.time:
+                return heap[0][0]
+            return front.time
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
-    def note_cancelled(self) -> None:
+    # -- cancellation bookkeeping ------------------------------------------
+
+    def note_cancelled(self, event: Event | None = None) -> None:
         """Record that one previously pushed event was cancelled.
 
         The engine calls this when it cancels an event so that ``len`` and
-        emptiness checks stay accurate without an O(n) heap scan.
+        emptiness checks stay accurate without an O(n) heap scan.  Passing
+        the event lets the heap attribute the garbage correctly (immediate
+        events are purged FIFO and never accumulate mid-heap); calling with
+        no argument conservatively counts it as heap garbage.
         """
         if self._live <= 0:
             raise SimulationError("cancellation bookkeeping underflow")
         self._live -= 1
+        if event is None or not event.immediate:
+            self._garbage += 1
+            if (
+                self._garbage >= COMPACTION_MIN_GARBAGE
+                and self._garbage * 2 >= len(self._heap)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the heap in one O(n) pass.
+
+        Mutates the heap list in place (slice assignment) because the
+        engine's run loop holds a direct reference to it.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._garbage = 0
+        self.compactions += 1

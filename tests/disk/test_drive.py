@@ -109,6 +109,16 @@ class TestLowerBound:
         with pytest.raises(InvalidRequestError):
             drive.transfer_time(-1, 1024)
 
+    def test_transfer_time_zero_length_raises(self):
+        # A zero-length span would place its "last byte" before its first
+        # and compute negative track crossings; it must be rejected, not
+        # silently reported as a (slightly negative) transfer time.
+        drive = DiskDrive(TINY_DISK)
+        with pytest.raises(InvalidRequestError):
+            drive.transfer_time(0, 0)
+        with pytest.raises(InvalidRequestError):
+            drive.transfer_time(4096, -512)
+
     def test_service_negative_start_raises_and_leaves_head(self):
         # Bypass DiskRequest's own validation to prove the drive checks
         # the lower bound itself (a negative offset would otherwise yield

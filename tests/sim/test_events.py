@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.events import EventHeap
+from repro.sim.engine import Simulator
+from repro.sim.events import COMPACTION_MIN_GARBAGE, EventHeap
 
 
 def make_callback(log, tag):
@@ -67,3 +68,69 @@ class TestEventHeap:
         heap = EventHeap()
         with pytest.raises(SimulationError):
             heap.note_cancelled()
+
+
+class TestLazyCompaction:
+    def test_cancel_heavy_workload_triggers_compaction(self):
+        heap = EventHeap()
+        events = [heap.push(float(i % 17), lambda sim: None) for i in range(400)]
+        survivors = []
+        for index, event in enumerate(events):
+            if index % 8 == 0:
+                survivors.append(event)
+            else:
+                event.cancel()
+                heap.note_cancelled(event)
+        assert heap.compactions >= 1
+        assert len(heap) == len(survivors)
+        # The physical heap has actually shed its garbage.
+        assert len(heap._heap) < COMPACTION_MIN_GARBAGE + len(survivors)
+
+    def test_compaction_preserves_pop_order(self):
+        heap = EventHeap()
+        events = [heap.push(float(i % 13), lambda sim: None) for i in range(300)]
+        expected = []
+        for index, event in enumerate(events):
+            if index % 10 == 3:
+                expected.append(event)
+            else:
+                event.cancel()
+                heap.note_cancelled(event)
+        assert heap.compactions >= 1
+        popped = [heap.pop() for _ in range(len(heap))]
+        assert popped == sorted(expected, key=lambda e: (e.time, e.seq))
+        assert heap.peek_time() is None
+
+    def test_immediate_cancellations_are_not_heap_garbage(self):
+        heap = EventHeap()
+        for _ in range(5 * COMPACTION_MIN_GARBAGE):
+            event = heap.push_immediate(0.0, lambda sim: None)
+            event.cancel()
+            heap.note_cancelled(event)
+        assert heap.compactions == 0
+        assert len(heap) == 0
+
+    def test_below_threshold_never_compacts(self):
+        heap = EventHeap()
+        events = [
+            heap.push(float(i), lambda sim: None)
+            for i in range(COMPACTION_MIN_GARBAGE)
+        ]
+        for event in events[:-1]:
+            event.cancel()
+            heap.note_cancelled(event)
+        assert heap.compactions == 0
+
+    def test_simulator_exposes_compaction_counter(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(400):
+            event = sim.schedule(float(i % 29), lambda s, i=i: fired.append(i))
+            if i % 9 == 0:
+                keep.append(i)
+            else:
+                sim.cancel(event)
+        assert sim.compactions >= 1
+        sim.run()
+        assert sorted(fired) == keep

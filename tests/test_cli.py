@@ -101,6 +101,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "sequential" in out
 
+    def test_profile_runs(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--policy",
+                "extent",
+                "--workload",
+                "SC",
+                "--scale",
+                "0.03",
+                "--cap-ms",
+                "8000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "per-subsystem event/time breakdown" in out
+        assert "repro.disk.queue" in out
+        assert "cProfile" in out
+
     def test_alloc_warm_cache_executes_nothing(self, capsys, tmp_path):
         argv = [
             "alloc", "--policy", "extent", "--workload", "SC",
