@@ -1,0 +1,111 @@
+"""Fault-injection ablation — degraded-mode read latency.
+
+Losing a drive does not lose data on a redundant organization, but it
+does cost performance: a RAID-5 read over the dead drive becomes a
+reconstruction (read every survivor in the row and XOR), while a
+mirrored pair merely loses half its read bandwidth on one side.  This
+benchmark quantifies that asymmetry: the same random-read stream against
+each organization healthy and with one drive failed at time zero.
+
+Asserted shape: degraded RAID-5 full-row reads are substantially slower
+than healthy ones (the reconstruction fan-out doubles the survivors'
+work); degraded mirrored reads stay close to healthy (the surviving copy
+serves them directly); both remain available (no request fails).
+"""
+
+from repro.disk.geometry import WREN_IV
+from repro.disk.raid import MirroredArray, Raid5Array
+from repro.disk.request import IoKind
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import DiskFailure, FaultSpec
+from repro.report.tables import Table
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStream
+from repro.units import KIB
+
+from benchmarks.conftest import emit
+
+GEOMETRY = WREN_IV.scaled(0.25)
+
+#: Organization factory plus its full-row span in units: wide reads
+#: touch every drive, so a failed drive affects every request instead of
+#: one in n — the penalty measured is the per-request reconstruction
+#: cost, undiluted by spans that happen to miss the dead drive.
+ORGANIZATIONS = {
+    "mirrored": (
+        lambda sim: MirroredArray(sim, GEOMETRY, 4, 24 * KIB, KIB),
+        4 * 24,
+    ),
+    "raid5": (
+        lambda sim: Raid5Array(sim, GEOMETRY, 8, 24 * KIB, KIB),
+        7 * 24,
+    ),
+}
+
+#: One data drive dies immediately and is never repaired: the whole run
+#: measures steady-state degraded operation, not a rebuild transient.
+FAILED_DRIVE = FaultSpec(failures=(DiskFailure(0.0, 1),))
+
+
+def mean_read_latency(make_array, span_units, faults, n_requests=100, seed=5):
+    sim = Simulator()
+    array = make_array(sim)
+    if faults is not None:
+        FaultInjector(sim, array, faults)
+        sim.run(until=1.0)
+    rng = RandomStream(seed)
+    done = {}
+
+    def worker():
+        total = 0.0
+        for _ in range(n_requests):
+            start = rng.uniform_int(
+                0, max(0, array.capacity_units - span_units)
+            )
+            began = sim.now
+            yield array.transfer(IoKind.READ, start, span_units)
+            total += sim.now - began
+        done["mean"] = total / n_requests
+
+    sim.process(worker())
+    sim.run()
+    return done["mean"]
+
+
+def build_degraded_ablation():
+    rows = {}
+    for name, (factory, span_units) in ORGANIZATIONS.items():
+        healthy = mean_read_latency(factory, span_units, None)
+        degraded = mean_read_latency(factory, span_units, FAILED_DRIVE)
+        rows[name] = {
+            "healthy": healthy,
+            "degraded": degraded,
+            "penalty": degraded / healthy,
+        }
+    table = Table(
+        ["Organization", "Healthy row read (ms)", "Degraded (ms)", "Penalty"],
+        title="Fault ablation: full-row read latency with one drive failed",
+    )
+    for name, metrics in rows.items():
+        table.add_row(
+            [
+                name,
+                f"{metrics['healthy']:.1f}",
+                f"{metrics['degraded']:.1f}",
+                f"{metrics['penalty']:.2f}x",
+            ]
+        )
+    return table.render(), rows
+
+
+def test_fault_degraded(benchmark):
+    text, rows = benchmark.pedantic(
+        build_degraded_ablation, rounds=1, iterations=1
+    )
+    emit("fault_degraded", text)
+
+    # Reconstruction fans a read over every survivor: RAID-5 pays for it.
+    assert rows["raid5"]["penalty"] > 1.2
+    # The surviving mirror copy serves reads directly: negligible penalty.
+    assert rows["mirrored"]["penalty"] < rows["raid5"]["penalty"]
+    assert rows["mirrored"]["penalty"] < 1.1

@@ -23,7 +23,9 @@ Quickstart::
 The package layering (bottom to top): ``sim`` (event engine) → ``disk``
 (drive timing + array organizations) → ``alloc`` (the policies) → ``fs``
 (files) → ``workload`` (the §2.2 profiles) → ``core`` (the §3 tests and
-the per-figure sweeps) → ``report`` (tables / text figures).
+the per-figure sweeps) → ``report`` (tables / text figures).  ``fault``
+sits beside ``disk``: declarative fault plans injected into a running
+simulation, with degraded-mode service on the redundant organizations.
 """
 
 from .alloc import (
@@ -79,11 +81,23 @@ from .disk import (
 from .errors import (
     AllocationError,
     ConfigurationError,
+    DataUnavailableError,
     DiskFullError,
     ExperimentError,
+    FaultError,
     FileSystemError,
     ReproError,
     SimulationError,
+    SweepInterrupted,
+)
+from .fault import (
+    DiskFailure,
+    FaultInjector,
+    FaultSpec,
+    FaultSummary,
+    SlowDisk,
+    TransientFaults,
+    parse_fault_spec,
 )
 from .fs import FileSystem, FsFile
 from .sim import RandomStream, Simulator, ThroughputMeter
@@ -163,6 +177,14 @@ __all__ = [
     "sweep_restricted_performance",
     "sweep_extent_fragmentation",
     "sweep_extent_performance",
+    # fault
+    "FaultSpec",
+    "DiskFailure",
+    "SlowDisk",
+    "TransientFaults",
+    "parse_fault_spec",
+    "FaultInjector",
+    "FaultSummary",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -171,4 +193,7 @@ __all__ = [
     "DiskFullError",
     "ExperimentError",
     "FileSystemError",
+    "FaultError",
+    "DataUnavailableError",
+    "SweepInterrupted",
 ]

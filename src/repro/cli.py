@@ -5,10 +5,13 @@ Examples::
     python -m repro alloc --policy restricted --workload TS --scale 0.1
     python -m repro perf  --policy extent --workload TP --scale 0.1
     python -m repro compare --scale 0.1
+    python -m repro faults --organization raid5 \
+        --inject "fail:drive=0,at=15000,repair=40000"
     python -m repro table1
 
 Exit status is 0 on success; configuration errors print to stderr and
-exit 2 (argparse semantics).
+exit 2 (argparse semantics); an interrupted sweep (Ctrl-C) flushes its
+partial results and exits 130.
 
 The ``alloc``, ``perf``, and ``compare`` commands accept ``--jobs`` (fan
 independent sweep points across worker processes), ``--cache-dir``
@@ -31,6 +34,7 @@ from .core.comparison import figure6
 from .core.experiments import run_performance_experiment
 from .core.runner import ExperimentRunner, ExperimentTask, default_cache_dir
 from .core.configs import (
+    ORGANIZATIONS,
     BuddyPolicy,
     ExperimentConfig,
     ExtentPolicy,
@@ -43,10 +47,11 @@ from .core.configs import (
     selected_fixed,
 )
 from .disk.geometry import WREN_IV
-from .errors import ReproError
+from .errors import ReproError, SweepInterrupted
+from .fault.plan import parse_fault_spec
 from .sim.engine import Simulator
 from .report.figures import GroupedBarChart
-from .report.summary import render_performance_summary
+from .report.summary import render_fault_summary, render_performance_summary
 from .report.tables import Table
 from .units import MIB
 
@@ -93,6 +98,10 @@ def make_runner(args: argparse.Namespace) -> ExperimentRunner:
         cache_dir=cache_dir,
         use_cache=not args.no_cache,
         progress=_progress,
+        timeout_s=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 0),
+        checkpoint_dir=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -123,10 +132,12 @@ def cmd_alloc(args: argparse.Namespace) -> int:
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
-    system = SystemConfig(scale=args.scale)
+    system = SystemConfig(scale=args.scale, organization=args.organization)
     policy = make_policy(args.policy, args.workload, args)
+    faults = parse_fault_spec(args.inject) if args.inject else None
     config = ExperimentConfig(
-        policy=policy, workload=args.workload, system=system, seed=args.seed
+        policy=policy, workload=args.workload, system=system, seed=args.seed,
+        faults=faults,
     )
     runner = make_runner(args)
     task = ExperimentTask.performance(
@@ -135,6 +146,39 @@ def cmd_perf(args: argparse.Namespace) -> int:
     result = runner.results([task])[0]
     _finish(runner)
     print(render_performance_summary(result))
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Degraded-mode demonstration: inject faults, report the meters.
+
+    Runs one performance experiment on a redundant organization with the
+    given fault plan and prints the healthy/degraded throughput split —
+    the quickest way to see a drive failure, the reconstruction-read
+    penalty, and the rebuild competing for bandwidth.
+    """
+    system = SystemConfig(scale=args.scale, organization=args.organization)
+    policy = make_policy(args.policy, args.workload, args)
+    spec = parse_fault_spec(args.inject)
+    if spec.empty:
+        raise ReproError("the fault plan is empty; pass --inject CLAUSES")
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed,
+        faults=spec,
+    )
+    runner = make_runner(args)
+    task = ExperimentTask.performance(
+        config, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
+    )
+    result = runner.results([task])[0]
+    _finish(runner)
+    print(f"fault plan: {spec.describe()}")
+    print(f"organization: {args.organization}, {config.describe()}")
+    print()
+    print(render_fault_summary(result.faults))
+    if result.io_failures:
+        print()
+        print(f"I/O failures surfaced to the workload: {result.io_failures}")
     return 0
 
 
@@ -265,6 +309,19 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(default: {default_cache_dir()})")
         p.add_argument("--no-cache", action="store_true",
                        help="always simulate; neither read nor write the cache")
+        p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-point wall-clock timeout; a point over "
+                            "budget has its worker killed (and retried per "
+                            "--retries)")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="extra attempts after a worker crash or timeout "
+                            "(exponential backoff with seeded jitter)")
+        p.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="flush each completed point to DIR so an "
+                            "interrupted sweep can be resumed")
+        p.add_argument("--resume", action="store_true",
+                       help="replay points already completed in the "
+                            "--checkpoint directory instead of re-running")
 
     def add_policy(p: argparse.ArgumentParser) -> None:
         p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
@@ -291,7 +348,28 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(perf)
     perf.add_argument("--cap-ms", type=float, default=60_000.0,
                       help="simulated-time cap per phase")
+    perf.add_argument("--organization", choices=ORGANIZATIONS, default="striped",
+                      help="disk organization (redundant ones mask failures)")
+    perf.add_argument("--inject", default=None, metavar="CLAUSES",
+                      help="fault plan, e.g. "
+                           "'fail:drive=2,at=5000,repair=20000;"
+                           "slow:drive=0,at=0,factor=4;transient:rate=0.001'")
     perf.set_defaults(func=cmd_perf)
+
+    faults = sub.add_parser(
+        "faults",
+        help="inject faults into a redundant organization; report "
+             "degraded-mode throughput",
+    )
+    add_common(faults)
+    faults.add_argument("--cap-ms", type=float, default=60_000.0,
+                        help="simulated-time cap per phase")
+    faults.add_argument("--organization", choices=ORGANIZATIONS, default="raid5",
+                        help="disk organization under test")
+    faults.add_argument("--inject", metavar="CLAUSES",
+                        default="fail:drive=0,at=15000,repair=40000",
+                        help="fault plan (same grammar as perf --inject)")
+    faults.set_defaults(func=cmd_faults)
 
     compare = sub.add_parser("compare", help="Figure 6: four policies, three workloads")
     add_common(compare, with_policy=False)
@@ -327,6 +405,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SweepInterrupted as interrupted:
+        where = interrupted.partial_dir or "the result cache"
+        print(
+            f"repro: interrupted ({interrupted.completed}/{interrupted.total} "
+            f"points done) — partial results flushed to {where}",
+            file=sys.stderr,
+        )
+        return 130
+    except KeyboardInterrupt:
+        # Interrupted outside a sweep (argument parsing, report
+        # rendering): nothing partial to flush, same conventional status.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except ReproError as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2

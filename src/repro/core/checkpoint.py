@@ -1,0 +1,107 @@
+"""Checkpoint/resume for long experiment sweeps.
+
+A sweep interrupted halfway — operator Ctrl-C, scheduler preemption, a
+machine reboot — should not forfeit the hours already computed.  A
+:class:`SweepCheckpoint` makes a sweep resumable from its own on-disk
+state, independent of the global result cache:
+
+* ``<dir>/manifest.json`` — the sweep's identity (format version, task
+  count) plus the set of completed task keys, rewritten atomically
+  (temp + ``os.replace``) after every completion, so the file is always
+  a consistent snapshot no matter when the process dies.
+* ``<dir>/results/`` — a private :class:`~repro.core.runner.ResultCache`
+  holding each completed point's result under its task key.
+
+Resume is key-based: a task whose cache key appears in the manifest
+*and* whose result loads cleanly is replayed; everything else re-runs.
+Keys cover the entire configuration (policy, workload, system, seed,
+fault plan, kwargs), so resuming with a changed sweep definition
+naturally re-runs exactly the changed points.  Failed points are never
+recorded — a resume retries them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+MANIFEST_FORMAT = 1
+
+
+class SweepCheckpoint:
+    """Durable progress record for one sweep directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        from .runner import ResultCache  # local import avoids a cycle
+
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / "manifest.json"
+        self.results = ResultCache(self.directory / "results")
+        self._done: set[str] = set()
+        self._total = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self, total: int, resume: bool) -> None:
+        """Open the checkpoint for a sweep of ``total`` tasks.
+
+        With ``resume=True`` an existing manifest's completed keys are
+        kept; otherwise the sweep starts fresh (stale state is dropped,
+        though previously stored results remain loadable if their keys
+        come up again).
+        """
+        self._total = total
+        self._done = self._load_done() if resume else set()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.flush()
+
+    def _load_done(self) -> set[str]:
+        try:
+            with open(self.manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if manifest.get("format") != MANIFEST_FORMAT:
+                return set()
+            done = manifest.get("done", [])
+            if not isinstance(done, list):
+                return set()
+            return {key for key in done if isinstance(key, str)}
+        except Exception:
+            # A corrupt or missing manifest resumes nothing; the sweep
+            # re-runs (results may still replay from the global cache).
+            return set()
+
+    # -- progress -----------------------------------------------------------
+
+    def result_for(self, key: str) -> Any | None:
+        """The stored result for a completed task key, else ``None``."""
+        if key not in self._done:
+            return None
+        return self.results.load(key)
+
+    def record(self, key: str, result: Any) -> None:
+        """Persist one completed point and flush the manifest."""
+        self.results.store(key, result)
+        self._done.add(key)
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically rewrite the manifest snapshot."""
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "total": self._total,
+            "completed": len(self._done),
+            "done": sorted(self._done),
+        }
+        temp = self.manifest_path.with_name(
+            f"{self.manifest_path.name}.{os.getpid()}.tmp"
+        )
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=0)
+        os.replace(temp, self.manifest_path)
+
+    @property
+    def completed(self) -> int:
+        """Completed task count recorded so far."""
+        return len(self._done)

@@ -23,12 +23,16 @@ from ..alloc.restricted import (
     RestrictedBuddyConfig,
     ladder_from_sizes,
 )
-from ..disk.array import StripedArray
+from ..disk.array import DiskSystem, StripedArray
 from ..disk.geometry import WREN_IV, DiskGeometry
 from ..errors import ConfigurationError
+from ..fault.plan import FaultSpec
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStream
 from ..units import KIB, parse_size
+
+#: Disk organizations :meth:`SystemConfig.build_array` can construct.
+ORGANIZATIONS = ("striped", "mirrored", "raid5", "parity-striped")
 
 
 @dataclass(frozen=True)
@@ -44,6 +48,12 @@ class SystemConfig:
         disk_unit: the minimum transfer unit and the allocators' address
             granularity: "the smaller of the smallest block size supported
             by the file system and the stripe size" — 1K here.
+        organization: one of :data:`ORGANIZATIONS`.  ``"striped"`` (the
+            configuration behind every paper result) carries no
+            redundancy; the other three are §2.1's redundant options and
+            the substrate for the fault-injection experiments.  For
+            ``"mirrored"``, ``n_disks`` counts one copy — the system has
+            twice that many spindles.
     """
 
     geometry: DiskGeometry = WREN_IV
@@ -52,6 +62,14 @@ class SystemConfig:
     disk_unit: str | int = 1 * KIB
     scale: float = 1.0
     queue_discipline: str = "fcfs"  # or "elevator" (extension)
+    organization: str = "striped"
+
+    def __post_init__(self) -> None:
+        if self.organization not in ORGANIZATIONS:
+            raise ConfigurationError(
+                f"unknown organization {self.organization!r}; "
+                f"expected one of {', '.join(ORGANIZATIONS)}"
+            )
 
     @property
     def stripe_unit_bytes(self) -> int:
@@ -65,22 +83,41 @@ class SystemConfig:
         """The per-drive geometry at this config's scale."""
         return self.geometry if self.scale == 1.0 else self.geometry.scaled(self.scale)
 
-    def build_array(self, sim: Simulator) -> StripedArray:
-        """Construct the striped array for a simulation run."""
-        return StripedArray(
-            sim,
-            self.scaled_geometry(),
-            self.n_disks,
-            self.stripe_unit_bytes,
-            self.disk_unit_bytes,
-            queue_discipline=self.queue_discipline,
-        )
+    def build_array(self, sim: Simulator) -> DiskSystem:
+        """Construct the configured disk organization for a simulation run."""
+        geometry = self.scaled_geometry()
+        if self.organization == "striped":
+            return StripedArray(
+                sim,
+                geometry,
+                self.n_disks,
+                self.stripe_unit_bytes,
+                self.disk_unit_bytes,
+                queue_discipline=self.queue_discipline,
+            )
+        from ..disk.raid import MirroredArray, ParityStripedArray, Raid5Array
+
+        if self.organization == "mirrored":
+            return MirroredArray(
+                sim, geometry, self.n_disks, self.stripe_unit_bytes, self.disk_unit_bytes
+            )
+        if self.organization == "raid5":
+            return Raid5Array(
+                sim, geometry, self.n_disks, self.stripe_unit_bytes, self.disk_unit_bytes
+            )
+        return ParityStripedArray(sim, geometry, self.n_disks, self.disk_unit_bytes)
 
     @property
     def capacity_bytes(self) -> int:
-        """Array capacity at this scale (whole stripes only)."""
+        """Usable data capacity at this scale, per the organization."""
         per_drive = self.scaled_geometry().capacity_bytes
+        if self.organization == "parity-striped":
+            per_drive -= per_drive % self.disk_unit_bytes
+            return int(per_drive * self.n_disks * (self.n_disks - 1) / self.n_disks)
         per_drive -= per_drive % self.stripe_unit_bytes
+        if self.organization == "raid5":
+            return per_drive * (self.n_disks - 1)
+        # striped: all spindles are data; mirrored: one copy's worth.
         return per_drive * self.n_disks
 
 
@@ -290,17 +327,28 @@ SELECTED_BUDDY = BuddyPolicy()
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Everything identifying one experiment run."""
+    """Everything identifying one experiment run.
+
+    ``faults`` (default ``None``: the fault-free model, bit-identical to
+    the pre-fault-subsystem code) attaches a declarative
+    :class:`~repro.fault.plan.FaultSpec`; the injector's random streams
+    derive from ``seed``, so a (config, seed, faults) triple is fully
+    reproducible and cache-keyable like every other field.
+    """
 
     policy: PolicyConfig
     workload: str  # "TS" | "TP" | "SC"
     system: SystemConfig = field(default_factory=SystemConfig)
     seed: int = 1991
     fill_fraction: float = 0.91
+    faults: FaultSpec | None = None
 
     def describe(self) -> str:
         """One-line run description for logs and reports."""
-        return (
+        base = (
             f"{self.policy.label} / {self.workload} @ scale "
             f"{self.system.scale:g}, seed {self.seed}"
         )
+        if self.faults is not None and not self.faults.empty:
+            base += f" [faults: {self.faults.describe()}]"
+        return base

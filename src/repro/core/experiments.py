@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigurationError, DiskFullError
+from ..fault.injector import FaultInjector, FaultSummary
 from ..fs.filesystem import FileSystem
 from ..sim.engine import Simulator
 from ..sim.meters import ThroughputMeter
@@ -132,7 +133,12 @@ class PhaseResult:
 
 @dataclass(frozen=True)
 class PerformanceResult:
-    """Application + sequential results for one (policy, workload) pair."""
+    """Application + sequential results for one (policy, workload) pair.
+
+    ``io_failures`` and ``faults`` are only non-trivial when the config
+    carries a :class:`~repro.fault.plan.FaultSpec`; fault-free runs report
+    0 and ``None``.
+    """
 
     policy_label: str
     workload: str
@@ -143,6 +149,8 @@ class PerformanceResult:
     operation_latency_ms: dict[str, float]
     disk_full_events: int
     governor_conversions: int
+    io_failures: int = 0
+    faults: FaultSummary | None = None
 
 
 class _PhaseMonitor:
@@ -257,6 +265,9 @@ def run_performance_experiment(
     """
     sim = Simulator() if simulator_factory is None else simulator_factory()
     array = config.system.build_array(sim)
+    injector = None
+    if config.faults is not None and not config.faults.empty:
+        injector = FaultInjector(sim, array, config.faults, seed=config.seed)
     rng = RandomStream(config.seed, "perf-experiment")
     allocator = config.policy.build(
         array.capacity_units, config.system.disk_unit_bytes, rng.fork("alloc")
@@ -296,4 +307,6 @@ def run_performance_experiment(
         },
         disk_full_events=driver.disk_full_events,
         governor_conversions=driver.governor_conversions,
+        io_failures=driver.io_failures,
+        faults=injector.summary(up_to_time=sim.now) if injector else None,
     )

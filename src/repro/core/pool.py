@@ -1,0 +1,324 @@
+"""Supervised worker pool: timeouts, crash isolation, bounded retries.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot kill an individual
+worker (a hung task hangs the sweep) and a worker that dies abruptly
+poisons the whole pool (``BrokenProcessPool`` loses every in-flight
+task).  Long sweeps need stronger guarantees, so :class:`SupervisedPool`
+manages its own ``spawn`` processes over pipes:
+
+* **Wall-clock timeouts** — a task that exceeds ``timeout_s`` has its
+  worker killed and is retried or reported, while sibling tasks keep
+  running.
+* **Crash isolation** — a worker that dies (segfault, OOM kill,
+  ``SIGKILL`` from an operator) is detected, its task is requeued, and a
+  replacement worker is spawned.  No task is ever lost.
+* **Bounded retries with seeded backoff** — crashes and timeouts retry
+  up to ``retries`` times with exponential backoff plus deterministic
+  jitter (derived from :class:`~repro.sim.rng.RandomStream`, so two runs
+  of the same sweep back off identically).  Ordinary task exceptions are
+  *not* retried: the simulation is deterministic, so a failing
+  configuration fails identically every time — those travel back as
+  structured errors instead.
+
+Results are yielded as ``(index, task, (status, payload, elapsed_s))``
+in completion order; the caller reorders by index, which keeps parallel
+sweeps bit-identical to serial ones regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Iterator, Sequence
+
+from ..errors import ConfigurationError
+from ..sim.rng import RandomStream
+
+#: How often (seconds) the supervisor wakes to check deadlines and
+#: worker liveness when no result is ready.
+_POLL_INTERVAL_S = 0.1
+
+
+def _pool_worker_main(conn) -> None:  # pragma: no cover - child process
+    """Worker loop: receive a task, run it, send the outcome back.
+
+    Runs in a spawned child.  ``None`` is the shutdown sentinel.  The
+    callable is received once per task so the parent can ship arbitrary
+    work functions without global registration.
+    """
+    try:
+        while True:
+            item = conn.recv()
+            if item is None:
+                return
+            work_fn, payload = item
+            try:
+                conn.send(("done", work_fn(payload)))
+            except Exception:  # noqa: BLE001 - structured failure channel
+                conn.send(("raised", traceback.format_exc()))
+    except (EOFError, KeyboardInterrupt):
+        return
+
+
+@dataclass
+class _Assignment:
+    """One task attempt in flight on a worker."""
+
+    index: int
+    payload: Any
+    attempt: int  # 0 = first try
+    deadline: float | None  # time.monotonic() cutoff, None = no timeout
+
+
+@dataclass
+class _Retry:
+    """A task waiting out its backoff before re-entering the queue."""
+
+    ready_at: float
+    index: int
+    payload: Any
+    attempt: int
+
+
+@dataclass
+class PoolStats:
+    """Supervision counters for reporting and tests."""
+
+    crashes: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    workers_replaced: int = 0
+    details: list[str] = field(default_factory=list)
+
+
+class SupervisedPool:
+    """Run tasks on supervised spawn workers; survive hangs and crashes.
+
+    Args:
+        work_fn: picklable callable applied to each task payload in a
+            worker; its return value travels back verbatim.
+        n_workers: worker process count (capped at the task count).
+        timeout_s: per-attempt wall-clock budget; ``None`` disables.
+        retries: extra attempts granted after a crash or timeout.
+        backoff_base_s: first retry delay; doubles per attempt.
+        jitter_seed: seeds the deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        work_fn: Callable[[Any], Any],
+        n_workers: int,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_base_s: float = 0.5,
+        jitter_seed: int = 0,
+    ) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(f"need at least one worker: {n_workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(f"timeout must be positive: {timeout_s}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0: {retries}")
+        self.work_fn = work_fn
+        self.n_workers = n_workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.jitter_seed = jitter_seed
+        self.stats = PoolStats()
+        self._context = get_context("spawn")
+        self._workers: dict[Any, tuple[Any, _Assignment | None]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self, items: Sequence[tuple[int, Any]]
+    ) -> Iterator[tuple[int, Any, tuple[str, Any, float]]]:
+        """Execute ``(index, payload)`` items; yield outcomes as they land.
+
+        Outcome statuses mirror the runner's worker protocol: ``"ok"``
+        carries the work function's return value, ``"error"`` carries a
+        human-readable failure description (task exception traceback,
+        crash report, or timeout report).
+        """
+        queue: deque[tuple[int, Any, int]] = deque(
+            (index, payload, 0) for index, payload in items
+        )
+        retries: list[_Retry] = []
+        outstanding = len(queue)
+        try:
+            for _ in range(min(self.n_workers, len(queue))):
+                self._spawn_worker()
+            while outstanding > 0:
+                self._promote_ready_retries(retries, queue)
+                self._assign_idle_workers(queue)
+                for event in self._poll(queue, retries):
+                    outstanding -= 1
+                    yield event
+        finally:
+            self._shutdown()
+
+    # -- supervision internals ----------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._workers[parent_conn] = (process, None)
+
+    def _assign_idle_workers(self, queue: deque) -> None:
+        for conn, (process, assignment) in list(self._workers.items()):
+            if assignment is not None or not queue:
+                continue
+            index, payload, attempt = queue.popleft()
+            deadline = (
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            )
+            conn.send((self.work_fn, payload))
+            self._workers[conn] = (
+                process,
+                _Assignment(index, payload, attempt, deadline),
+            )
+
+    def _promote_ready_retries(self, retries: list[_Retry], queue: deque) -> None:
+        now = time.monotonic()
+        ready = [r for r in retries if r.ready_at <= now]
+        for r in sorted(ready, key=lambda r: (r.ready_at, r.index)):
+            retries.remove(r)
+            queue.append((r.index, r.payload, r.attempt))
+
+    def _next_wakeup(self, retries: list[_Retry]) -> float:
+        """Seconds to sleep in ``connection.wait`` before re-checking."""
+        now = time.monotonic()
+        wake = now + _POLL_INTERVAL_S
+        for _, assignment in self._workers.values():
+            if assignment is not None and assignment.deadline is not None:
+                wake = min(wake, assignment.deadline)
+        for r in retries:
+            wake = min(wake, r.ready_at)
+        return max(0.0, wake - now)
+
+    def _poll(self, queue: deque, retries: list[_Retry]):
+        """One supervision step: collect results, reap the dead, enforce
+        deadlines.  Yields finished outcomes."""
+        busy = [
+            conn
+            for conn, (_, assignment) in self._workers.items()
+            if assignment is not None
+        ]
+        if busy:
+            readable = connection_wait(busy, timeout=self._next_wakeup(retries))
+        else:
+            # Everything in flight is waiting out a backoff.
+            time.sleep(self._next_wakeup(retries))
+            readable = []
+
+        for conn in readable:
+            process, assignment = self._workers[conn]
+            started = (
+                assignment.deadline - self.timeout_s
+                if assignment.deadline is not None
+                else None
+            )
+            elapsed = (
+                time.monotonic() - started if started is not None else 0.0
+            )
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                # Died between finishing and reporting: treat as a crash.
+                continue
+            self._workers[conn] = (process, None)
+            if kind == "done":
+                yield assignment.index, assignment.payload, payload
+            else:
+                yield (
+                    assignment.index,
+                    assignment.payload,
+                    ("error", payload, elapsed),
+                )
+
+        now = time.monotonic()
+        for conn, (process, assignment) in list(self._workers.items()):
+            if assignment is None:
+                continue
+            if not process.is_alive():
+                self.stats.crashes += 1
+                self.stats.workers_replaced += 1
+                detail = (
+                    f"worker pid {process.pid} died (exitcode "
+                    f"{process.exitcode}) running task {assignment.index}"
+                )
+                self.stats.details.append(detail)
+                conn.close()
+                del self._workers[conn]
+                self._spawn_worker()
+                yield from self._retry_or_fail(assignment, detail, retries)
+            elif assignment.deadline is not None and now >= assignment.deadline:
+                self.stats.timeouts += 1
+                self.stats.workers_replaced += 1
+                detail = (
+                    f"task {assignment.index} exceeded its {self.timeout_s:g}s "
+                    f"wall-clock timeout; worker pid {process.pid} killed"
+                )
+                self.stats.details.append(detail)
+                process.kill()
+                process.join()
+                conn.close()
+                del self._workers[conn]
+                self._spawn_worker()
+                yield from self._retry_or_fail(assignment, detail, retries)
+
+    def _retry_or_fail(
+        self, assignment: _Assignment, detail: str, retries: list[_Retry]
+    ):
+        if assignment.attempt < self.retries:
+            self.stats.retries += 1
+            delay = self.backoff_base_s * (2.0**assignment.attempt)
+            jitter = RandomStream(
+                self.jitter_seed,
+                f"retry/{assignment.index}/{assignment.attempt}",
+            ).uniform(0.0, 0.5 * delay)
+            retries.append(
+                _Retry(
+                    ready_at=time.monotonic() + delay + jitter,
+                    index=assignment.index,
+                    payload=assignment.payload,
+                    attempt=assignment.attempt + 1,
+                )
+            )
+            return
+        yield (
+            assignment.index,
+            assignment.payload,
+            (
+                "error",
+                f"{detail} (after {assignment.attempt + 1} attempt(s), "
+                f"retries exhausted)",
+                0.0,
+            ),
+        )
+
+    def _shutdown(self) -> None:
+        for conn, (process, _) in self._workers.items():
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for conn, (process, _) in self._workers.items():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join()
+            conn.close()
+        self._workers.clear()

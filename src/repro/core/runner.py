@@ -11,15 +11,24 @@ module exploits that:
   derives a stable content hash from it.
 * :class:`ResultCache` persists finished results on disk under that
   hash, so re-running a figure replays cached points instantly.
-* :class:`ExperimentRunner` fans pending tasks across a spawn-safe
-  ``multiprocessing`` worker pool, reports per-point timing through an
-  optional progress callback, and routes per-point failures into a
-  structured :class:`PointOutcome.error` channel instead of letting one
-  diverging configuration kill the whole sweep.
+* :class:`ExperimentRunner` fans pending tasks across a supervised
+  ``spawn`` worker pool (:mod:`repro.core.pool`), reports per-point
+  timing through an optional progress callback, and routes per-point
+  failures into a structured :class:`PointOutcome.error` channel instead
+  of letting one diverging configuration kill the whole sweep.
+
+Supervision (all opt-in, all deterministic): per-task wall-clock
+timeouts, bounded retry with seeded exponential backoff for crashed or
+timed-out workers, checkpoint/resume of sweeps through
+:class:`~repro.core.checkpoint.SweepCheckpoint`, and a graceful
+``KeyboardInterrupt`` path that flushes partial results and raises
+:class:`~repro.errors.SweepInterrupted` for the CLI to turn into exit
+code 130.
 
 ``jobs=1`` (the default) executes inline in the calling process — no
 pool, no pickling — and is the reference behavior: parallel execution is
-required to be bit-identical to it.
+required to be bit-identical to it.  (Setting a timeout forces the pool
+even at ``jobs=1``: only a separate process can be killed mid-task.)
 
 Cache keys cover the policy configuration (class name and every field),
 the workload, the system (geometry included), the seed, the test kind,
@@ -30,6 +39,7 @@ delete the cache directory to invalidate everything.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -37,19 +47,20 @@ import os
 import pickle
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from multiprocessing import get_context
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-from ..errors import ConfigurationError, ExperimentError
+from ..errors import ConfigurationError, ExperimentError, SweepInterrupted
+from .checkpoint import SweepCheckpoint
 from .configs import ExperimentConfig
 from .experiments import run_allocation_experiment, run_performance_experiment
+from .pool import SupervisedPool
 
 #: Bump when result dataclasses or experiment semantics change shape;
 #: old cache entries then miss instead of deserializing stale science.
-CACHE_FORMAT_VERSION = 1
+#: 2: checksummed cache entries; PerformanceResult gained fault fields.
+CACHE_FORMAT_VERSION = 2
 
 #: Test kinds and the §3 procedures they dispatch to.
 _EXPERIMENT_KINDS: dict[str, Callable[..., Any]] = {
@@ -156,11 +167,19 @@ def _freeze_kwargs(kwargs: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
 # ---------------------------------------------------------------------------
 
 
-class ResultCache:
-    """Pickle-per-key result store with atomic writes.
+#: Magic prefix of a checksummed cache entry (version in the tag).
+_CACHE_MAGIC = b"RPRC2\n"
 
-    Corrupt or unreadable entries are treated as misses, never as errors:
-    the cache is an accelerator, not a source of truth.
+
+class ResultCache:
+    """Pickle-per-key result store with atomic, checksummed writes.
+
+    Entries are written to a temp file and ``os.replace``d into place, so
+    readers never observe a half-written entry; each entry carries a
+    SHA-256 of its payload, verified on every load.  Corrupt, truncated,
+    or tampered entries are treated as misses — and *evicted*, so a bad
+    entry costs one recompute instead of a validation failure on every
+    subsequent run.  The cache is an accelerator, not a source of truth.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -171,22 +190,47 @@ class ResultCache:
 
     def load(self, key: str) -> Any | None:
         """The cached result for ``key``, or ``None`` on a miss."""
+        path = self.path(key)
         try:
-            with open(self.path(key), "rb") as handle:
-                return pickle.load(handle)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            magic, digest, payload = (
+                blob[: len(_CACHE_MAGIC)],
+                blob[len(_CACHE_MAGIC) : len(_CACHE_MAGIC) + 64],
+                blob[len(_CACHE_MAGIC) + 64 :],
+            )
+            if magic != _CACHE_MAGIC:
+                raise ValueError("bad cache magic")
+            if hashlib.sha256(payload).hexdigest().encode() != digest:
+                raise ValueError("cache checksum mismatch")
+            return pickle.loads(payload)
         except Exception:
-            # A corrupt or truncated entry is a miss, never an error.
+            # A corrupt or truncated entry is a miss, never an error —
             # pickle raises far more than PickleError on garbage bytes
             # (ValueError, KeyError, UnicodeDecodeError, ImportError...).
+            # Evict it so the recompute's store replaces it for good.
+            self._evict(path)
             return None
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        with contextlib.suppress(OSError):
+            path.unlink()
 
     def store(self, key: str, result: Any) -> None:
         """Persist ``result`` under ``key`` (atomic rename, last wins)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.path(key)
         temp = final.with_name(f"{final.name}.{os.getpid()}.tmp")
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode()
         with open(temp, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(_CACHE_MAGIC)
+            handle.write(digest)
+            handle.write(payload)
         os.replace(temp, final)
 
 
@@ -266,6 +310,18 @@ class ExperimentRunner:
         cache_dir: result cache directory; ``None`` disables caching.
         use_cache: master switch — False ignores ``cache_dir`` entirely.
         progress: optional per-point completion callback.
+        timeout_s: per-task wall-clock budget.  A task over budget has
+            its worker killed (and retried if ``retries`` allows); a
+            timeout forces pool execution even at ``jobs=1``.
+        retries: extra attempts after a worker crash or timeout.
+            Deterministic task exceptions are *not* retried — the same
+            configuration fails the same way every time.
+        backoff_base_s: first retry delay; doubles per attempt, plus
+            seeded jitter.
+        checkpoint_dir: sweep checkpoint directory; every completed
+            point is flushed there so an interrupted sweep can resume.
+        resume: replay completed points from ``checkpoint_dir`` instead
+            of re-running them.
     """
 
     def __init__(
@@ -274,14 +330,32 @@ class ExperimentRunner:
         cache_dir: str | Path | None = None,
         use_cache: bool = True,
         progress: ProgressCallback | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_base_s: float = 0.5,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ConfigurationError(f"jobs must be >= 0: {jobs}")
         if not jobs:
             jobs = os.cpu_count() or 1
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(f"timeout must be positive: {timeout_s}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0: {retries}")
+        if resume and not checkpoint_dir:
+            raise ConfigurationError("resume requires a checkpoint directory")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir) if (use_cache and cache_dir) else None
         self.progress = progress
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.checkpoint = (
+            SweepCheckpoint(checkpoint_dir) if checkpoint_dir else None
+        )
+        self.resume = resume
         self.stats = RunnerStats()
 
     # -- execution ---------------------------------------------------------
@@ -289,48 +363,89 @@ class ExperimentRunner:
     def run(self, tasks: Sequence[ExperimentTask]) -> list[PointOutcome]:
         """Execute every task; return outcomes in submission order.
 
-        Cached points are replayed without executing; pending points fan
-        across the pool (or run inline for ``jobs=1``).  A failing point
-        yields an outcome with ``error`` set — it never raises here and
-        never interrupts sibling points.
+        Cached and checkpointed points are replayed without executing;
+        pending points fan across the supervised pool (or run inline for
+        ``jobs=1`` with no timeout).  A failing point yields an outcome
+        with ``error`` set — it never raises here and never interrupts
+        sibling points.
+
+        Raises:
+            SweepInterrupted: on ``KeyboardInterrupt``.  Results already
+                computed are in the cache and checkpoint (both are
+                flushed point by point); the exception names the
+                directory holding the partial results.
         """
         started = time.perf_counter()
         outcomes: list[PointOutcome | None] = [None] * len(tasks)
         pending: list[tuple[int, ExperimentTask]] = []
         total = len(tasks)
         completed = 0
+        if self.checkpoint is not None:
+            self.checkpoint.begin(total, self.resume)
 
         for index, task in enumerate(tasks):
-            cached = self.cache.load(task.cache_key) if self.cache else None
+            cached = None
+            if self.checkpoint is not None and self.resume:
+                cached = self.checkpoint.result_for(task.cache_key)
+            if cached is None and self.cache:
+                cached = self.cache.load(task.cache_key)
             if cached is not None:
                 outcomes[index] = PointOutcome(
                     index, task, cached, from_cache=True
                 )
                 self.stats.cached += 1
                 completed += 1
+                if self.checkpoint is not None:
+                    self.checkpoint.record(task.cache_key, cached)
                 self._report(outcomes[index], completed, total)
             else:
                 pending.append((index, task))
 
-        if self.jobs > 1 and len(pending) > 1:
-            finished = self._run_pool(pending)
+        use_pool = bool(pending) and (
+            (self.jobs > 1 and len(pending) > 1) or self.timeout_s is not None
+        )
+        if use_pool:
+            pool = SupervisedPool(
+                _worker,
+                n_workers=min(self.jobs, len(pending)),
+                timeout_s=self.timeout_s,
+                retries=self.retries,
+                backoff_base_s=self.backoff_base_s,
+            )
+            finished = pool.run(pending)
         else:
             finished = ((index, task, _worker(task)) for index, task in pending)
 
-        for index, task, (status, payload, elapsed) in finished:
-            if status == "ok":
-                outcome = PointOutcome(index, task, payload, elapsed_s=elapsed)
-                self.stats.executed += 1
-                if self.cache:
-                    self.cache.store(task.cache_key, payload)
-            else:
-                outcome = PointOutcome(
-                    index, task, None, error=payload, elapsed_s=elapsed
-                )
-                self.stats.failed += 1
-            outcomes[index] = outcome
-            completed += 1
-            self._report(outcome, completed, total)
+        try:
+            for index, task, (status, payload, elapsed) in finished:
+                if status == "ok":
+                    outcome = PointOutcome(index, task, payload, elapsed_s=elapsed)
+                    self.stats.executed += 1
+                    if self.cache:
+                        self.cache.store(task.cache_key, payload)
+                    if self.checkpoint is not None:
+                        self.checkpoint.record(task.cache_key, payload)
+                else:
+                    outcome = PointOutcome(
+                        index, task, None, error=payload, elapsed_s=elapsed
+                    )
+                    self.stats.failed += 1
+                outcomes[index] = outcome
+                completed += 1
+                self._report(outcome, completed, total)
+        except KeyboardInterrupt:
+            # Flush what we have and report how far we got; the CLI maps
+            # this to the conventional exit code 130.
+            finished.close()
+            if self.checkpoint is not None:
+                self.checkpoint.flush()
+            self.stats.elapsed_s += time.perf_counter() - started
+            partial_dir = (
+                self.checkpoint.directory
+                if self.checkpoint is not None
+                else (self.cache.directory if self.cache else None)
+            )
+            raise SweepInterrupted(partial_dir, completed, total) from None
 
         self.stats.elapsed_s += time.perf_counter() - started
         return [o for o in outcomes if o is not None]
@@ -355,30 +470,6 @@ class ExperimentRunner:
         return [o.result for o in outcomes]
 
     # -- internals ---------------------------------------------------------
-
-    def _run_pool(self, pending: list[tuple[int, ExperimentTask]]):
-        """Fan pending tasks across a spawn pool; yield as they finish.
-
-        ``spawn`` (not ``fork``) so workers start from a clean interpreter
-        on every platform — experiments share no state, so this is purely
-        a safety choice.
-        """
-        context = get_context("spawn")
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = {
-                pool.submit(_worker, task): (index, task)
-                for index, task in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, task = futures[future]
-                    try:
-                        yield index, task, future.result()
-                    except Exception:  # noqa: BLE001 - pool infrastructure died
-                        yield index, task, ("error", traceback.format_exc(), 0.0)
 
     def _report(self, outcome: PointOutcome, completed: int, total: int) -> None:
         if self.progress is not None:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 
-from ..errors import ConfigurationError, InvalidRequestError
+from ..errors import ConfigurationError, DataUnavailableError, InvalidRequestError
 from ..sim.engine import AllOf, Simulator, Waitable
 from .geometry import DiskGeometry
 from .queue import QueuedDrive
@@ -46,6 +46,9 @@ class DiskSystem(abc.ABC):
         self.drives: list[QueuedDrive] = []
         #: Optional ThroughputMeter credited as each drive request completes.
         self.meter = None
+        #: Attached by :class:`~repro.fault.injector.FaultInjector`; None
+        #: for every fault-free simulation.
+        self.fault_injector = None
 
     # -- geometry -----------------------------------------------------------
 
@@ -82,6 +85,32 @@ class DiskSystem(abc.ABC):
                 f"transfer [{start_unit}, {start_unit + n_units}) outside "
                 f"capacity {self.capacity_units} units"
             )
+
+    # -- faults ----------------------------------------------------------------
+
+    @staticmethod
+    def _drive_available(drive: QueuedDrive) -> bool:
+        """True unless a fault injector has taken the drive offline."""
+        state = drive.fault_state
+        return state is None or state.available
+
+    @property
+    def degraded(self) -> bool:
+        """True while any drive is failed or rebuilding."""
+        return any(not self._drive_available(d) for d in self.drives)
+
+    def start_rebuild(self, drive_index: int, rows_per_chunk: int):
+        """A generator that streams the failed drive's contents back.
+
+        Returns ``None`` when the organization has no redundancy to
+        rebuild from (the base case): the replacement drive simply comes
+        online, its contents restored out of band.  Redundant
+        organizations override this with a process that reads surviving
+        copies/parity and writes the replacement, chunk by chunk through
+        the ordinary queues — which is exactly how rebuild traffic
+        competes with foreground I/O for bandwidth.
+        """
+        return None
 
     # -- statistics ------------------------------------------------------------
 
@@ -179,8 +208,20 @@ class StripedArray(DiskSystem):
 
     def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
         self._check_span(start_unit, n_units)
+        per_drive = self._per_drive_runs(start_unit, n_units)
+        # Validate before submitting anything: a span that touches an
+        # offline drive must fail whole, not leave sibling requests queued.
+        for drive_index, runs in enumerate(per_drive):
+            if runs and not self._drive_available(self.drives[drive_index]):
+                # No redundancy: data on a failed drive is simply gone
+                # until the replacement arrives.  The workload layer
+                # treats this like any other transient operation failure.
+                raise DataUnavailableError(
+                    f"drive {drive_index} is offline and the striped array "
+                    f"has no redundancy to mask it"
+                )
         completions: list[Waitable] = []
-        for drive_index, runs in enumerate(self._per_drive_runs(start_unit, n_units)):
+        for drive_index, runs in enumerate(per_drive):
             for start_byte, length in runs:
                 request = DiskRequest(kind, start_byte, length)
                 completions.append(self.drives[drive_index].submit(request))

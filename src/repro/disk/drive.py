@@ -154,5 +154,18 @@ class DiskDrive:
         self.head_cylinder = (end_byte - 1) // cylinder_bytes
         return ServiceBreakdown(seek, rotation_delay, transfer)
 
+    def retry_service(self, breakdown: ServiceBreakdown) -> ServiceBreakdown:
+        """Service cost including one soft-error retry (fault injection).
+
+        A failed read is noticed as the transfer completes; the head stays
+        put, the target sector comes around again after one full
+        revolution, and the media transfer repeats.  No extra seek.
+        """
+        return ServiceBreakdown(
+            breakdown.seek_ms,
+            breakdown.rotation_ms + self._rotation_ms,
+            breakdown.transfer_ms * 2.0,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DiskDrive {self.geometry.name} head@{self.head_cylinder}>"

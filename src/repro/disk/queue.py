@@ -12,13 +12,13 @@ from __future__ import annotations
 
 from collections import deque
 
-from ..errors import SimulationError
+from ..errors import InvalidRequestError, SimulationError
 
 from ..sim.engine import Simulator, Waitable
 from ..sim.stats import Tally
 from .drive import DiskDrive
 from .geometry import DiskGeometry
-from .request import DiskRequest, ServiceBreakdown
+from .request import DiskRequest, IoKind, ServiceBreakdown
 
 
 class QueuedDrive:
@@ -58,6 +58,11 @@ class QueuedDrive:
         self.requests_served = 0
         self.latency = Tally()
         self.queue_wait = Tally()
+        #: Per-drive fault flags, attached by a
+        #: :class:`~repro.fault.injector.FaultInjector`; ``None`` (the
+        #: default) keeps the service path fault-free and bit-identical
+        #: to the pre-fault-subsystem model.
+        self.fault_state = None
 
     @property
     def geometry(self) -> DiskGeometry:
@@ -75,7 +80,19 @@ class QueuedDrive:
         return self._busy
 
     def submit(self, request: DiskRequest) -> Waitable:
-        """Enqueue a request; returns its completion waitable."""
+        """Enqueue a request; returns its completion waitable.
+
+        Raises:
+            InvalidRequestError: when the request's span falls outside
+                this drive's capacity — validated at submission, not at
+                service start, so the failure surfaces synchronously in
+                the caller rather than later inside an engine callback.
+        """
+        if request.end_byte > self.drive.geometry.capacity_bytes:
+            raise InvalidRequestError(
+                f"request [{request.start_byte}, {request.end_byte}) exceeds "
+                f"drive capacity {self.drive.geometry.capacity_bytes}"
+            )
         completion = Waitable()
         self._queue.append((request, completion, self.sim.now))
         if not self._busy:
@@ -96,6 +113,9 @@ class QueuedDrive:
         now = sim.now
         self.queue_wait.add(now - submitted_at)
         breakdown = self.drive.service(request, now)
+        faults = self.fault_state
+        if faults is not None:
+            breakdown = self._apply_faults(faults, request, now, breakdown)
         total_ms = breakdown.total_ms
         self.busy_ms += total_ms
         self.bytes_moved += request.n_bytes
@@ -104,6 +124,31 @@ class QueuedDrive:
         sim.schedule(
             total_ms, self._complete, completion, breakdown, request.n_bytes
         )
+
+    def _apply_faults(
+        self,
+        faults,
+        request: DiskRequest,
+        now: float,
+        breakdown: ServiceBreakdown,
+    ) -> ServiceBreakdown:
+        """Fault-adjusted service time: soft-error retries, slow spindles.
+
+        Whole-disk failures are routed *around* this drive by the owning
+        organization (degraded reads), so they never reach here; what
+        does reach here is served — including rebuild traffic directed at
+        a replacement drive.
+        """
+        if (
+            faults.has_transients
+            and request.kind is IoKind.READ
+            and faults.sample_transient(now)
+        ):
+            breakdown = self.drive.retry_service(breakdown)
+        factor = faults.slow_factor
+        if factor != 1.0:
+            breakdown = breakdown.scaled(factor)
+        return breakdown
 
     def _complete(
         self,

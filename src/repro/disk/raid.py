@@ -14,11 +14,21 @@ system will reduce the small write performance"):
 * :class:`ParityStripedArray` — Gray & Walker 1990: data is *not* striped
   (files live on single disks, preserving per-disk locality) but each
   write also updates parity on a rotating partner disk.
+
+Degraded mode (:mod:`repro.fault`): when an injected fault takes a drive
+offline, the mirror serves reads from the surviving copy and the RAID-5
+reconstructs by reading every surviving drive in the row; writes skip the
+dead drive (mirror) or maintain parity so the data is recoverable
+(RAID-5).  When a replacement arrives, :meth:`DiskSystem.start_rebuild`
+streams the contents back through the ordinary request queues, so rebuild
+traffic competes with foreground I/O exactly as it does on real arrays.
+A second concurrent failure raises
+:class:`~repro.errors.DataUnavailableError` — redundancy is exhausted.
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DataUnavailableError
 from ..sim.engine import AllOf, Simulator, Waitable
 from .array import ConcatArray, DiskSystem, StripedArray
 from .geometry import DiskGeometry
@@ -68,20 +78,103 @@ class MirroredArray(DiskSystem):
             + self.secondary.max_bandwidth_bytes_per_ms
         )
 
+    def _side_can_serve(self, side: StripedArray, start_unit: int, n_units: int) -> bool:
+        """True when every drive the span touches on ``side`` is online."""
+        per_drive = side._per_drive_runs(start_unit, n_units)
+        return all(
+            self._drive_available(side.drives[i])
+            for i, runs in enumerate(per_drive)
+            if runs
+        )
+
+    @staticmethod
+    def _partial_transfer(
+        side: StripedArray, kind: IoKind, start_unit: int, n_units: int
+    ) -> list[Waitable]:
+        """Submit a span to ``side``, silently skipping offline drives.
+
+        Used for writes while one copy is degraded: the surviving copy
+        takes the write, the dead drive's share is simply lost until the
+        rebuild re-copies it from the peer.
+        """
+        completions: list[Waitable] = []
+        per_drive = side._per_drive_runs(start_unit, n_units)
+        for drive_index, runs in enumerate(per_drive):
+            if not runs or not DiskSystem._drive_available(side.drives[drive_index]):
+                continue
+            for start_byte, length in runs:
+                completions.append(
+                    side.drives[drive_index].submit(DiskRequest(kind, start_byte, length))
+                )
+        return completions
+
     def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
         self._check_span(start_unit, n_units)
         if kind is IoKind.WRITE:
-            return AllOf(
-                [
-                    self.primary.transfer(kind, start_unit, n_units),
-                    self.secondary.transfer(kind, start_unit, n_units),
-                ]
+            if not self.degraded:
+                return AllOf(
+                    [
+                        self.primary.transfer(kind, start_unit, n_units),
+                        self.secondary.transfer(kind, start_unit, n_units),
+                    ]
+                )
+            # Degraded write: each copy takes the runs its online drives
+            # can absorb.  Both copies dropping the same span would lose
+            # data — that is the double-failure case.
+            if not (
+                self._side_can_serve(self.primary, start_unit, n_units)
+                or self._side_can_serve(self.secondary, start_unit, n_units)
+            ):
+                raise DataUnavailableError(
+                    "both mirror copies have offline drives in the written "
+                    "span; redundancy is exhausted"
+                )
+            completions = self._partial_transfer(
+                self.primary, kind, start_unit, n_units
             )
+            completions.extend(
+                self._partial_transfer(self.secondary, kind, start_unit, n_units)
+            )
+            return AllOf(completions)
         # Reads alternate between copies; with equal geometry this halves
         # each copy's read queue without tracking queue depths per span.
         side = self.primary if self._read_toggle == 0 else self.secondary
+        other = self.secondary if self._read_toggle == 0 else self.primary
         self._read_toggle ^= 1
+        if not self._side_can_serve(side, start_unit, n_units):
+            # Degraded read: fall over to the surviving copy.
+            side = other
+            if not self._side_can_serve(side, start_unit, n_units):
+                raise DataUnavailableError(
+                    "both mirror copies have offline drives in the read "
+                    "span; redundancy is exhausted"
+                )
         return side.transfer(kind, start_unit, n_units)
+
+    def start_rebuild(self, drive_index: int, rows_per_chunk: int):
+        """Re-copy a replaced drive from its mirror peer, chunk by chunk.
+
+        Drive ``i`` of the primary copy mirrors drive ``i`` of the
+        secondary (indices offset by ``n_disks`` in the flat list), so
+        rebuild is a straight disk-to-disk copy through both queues.
+        """
+        n = len(self.primary.drives)
+        peer = self.drives[(drive_index + n) % (2 * n)]
+        target = self.drives[drive_index]
+        chunk = max(1, rows_per_chunk) * self.primary.stripe_unit_bytes
+        per_drive = self.primary._per_drive_bytes
+
+        def rebuild():
+            position = 0
+            while position < per_drive:
+                length = min(chunk, per_drive - position)
+                yield peer.submit(DiskRequest(IoKind.READ, position, length))
+                yield target.submit(DiskRequest(IoKind.WRITE, position, length))
+                if self.fault_injector is not None:
+                    self.fault_injector.note_rebuild_bytes(2 * length)
+                position += length
+
+        return rebuild()
 
 
 class Raid5Array(DiskSystem):
@@ -149,24 +242,52 @@ class Raid5Array(DiskSystem):
         remaining = n_units * self.disk_unit_bytes
         data_per_row = su * (self.n_disks - 1)
 
-        completions: list[Waitable] = []
+        # Plan the whole span before submitting anything, so a span that
+        # turns out to be unserviceable (two drives down in one row) fails
+        # whole instead of leaving sibling requests queued.
+        plan: list[tuple[int, DiskRequest]] = []
         while remaining > 0:
             row = byte // data_per_row
             row_offset = byte % data_per_row
             chunk = min(data_per_row - row_offset, remaining)
-            completions.extend(self._transfer_in_row(kind, row, row_offset, chunk))
+            self._plan_in_row(plan, kind, row, row_offset, chunk)
             byte += chunk
             remaining -= chunk
-        return AllOf(completions)
+        return AllOf(
+            [self.drives[drive].submit(request) for drive, request in plan]
+        )
 
-    def _transfer_in_row(
-        self, kind: IoKind, row: int, row_offset: int, n_bytes: int
-    ) -> list[Waitable]:
-        """Issue the drive requests for a span within one stripe row."""
+    def _others_in_row(self, excluded: int) -> list[int]:
+        """Every drive index except ``excluded``; raises if one is offline.
+
+        Reconstruction needs *all* surviving drives of the row — a second
+        offline drive means the data is unrecoverable.
+        """
+        others: list[int] = []
+        for i in range(self.n_disks):
+            if i == excluded:
+                continue
+            if not self._drive_available(self.drives[i]):
+                raise DataUnavailableError(
+                    f"drives {excluded} and {i} are both offline; RAID-5 "
+                    f"survives only a single failure"
+                )
+            others.append(i)
+        return others
+
+    def _plan_in_row(
+        self,
+        plan: list[tuple[int, DiskRequest]],
+        kind: IoKind,
+        row: int,
+        row_offset: int,
+        n_bytes: int,
+    ) -> None:
+        """Append the drive requests for a span within one stripe row."""
         su = self.stripe_unit_bytes
         parity = self._parity_drive_of_row(row)
         row_byte = row * su
-        pieces: list[Waitable] = []
+        parity_ok = self._drive_available(self.drives[parity])
         full_row_write = kind is IoKind.WRITE and row_offset == 0 and n_bytes == su * (
             self.n_disks - 1
         )
@@ -177,47 +298,107 @@ class Raid5Array(DiskSystem):
             drive = position if position < parity else position + 1
             chunk = min(su - in_unit, remaining)
             request_start = row_byte + in_unit
+            drive_ok = self._drive_available(self.drives[drive])
             if kind is IoKind.READ:
-                pieces.append(
-                    self.drives[drive].submit(DiskRequest(kind, request_start, chunk))
-                )
+                if drive_ok:
+                    plan.append(
+                        (drive, DiskRequest(kind, request_start, chunk))
+                    )
+                else:
+                    # Degraded read: the chunk is the XOR of the same span
+                    # on every surviving drive of the row (data + parity),
+                    # so reconstruction costs N-1 reads in parallel.
+                    for other in self._others_in_row(drive):
+                        plan.append(
+                            (other, DiskRequest(IoKind.READ, request_start, chunk))
+                        )
             elif full_row_write:
-                pieces.append(
-                    self.drives[drive].submit(DiskRequest(kind, request_start, chunk))
+                if drive_ok:
+                    plan.append(
+                        (drive, DiskRequest(kind, request_start, chunk))
+                    )
+                elif not parity_ok:
+                    raise DataUnavailableError(
+                        f"drives {drive} and {parity} are both offline; "
+                        f"RAID-5 survives only a single failure"
+                    )
+                # One dead data drive in a full-row write is fine: its
+                # chunk is implied by the written parity.
+            elif not drive_ok:
+                # Degraded small write, data drive dead: new parity is
+                # computed from the surviving chunks (reconstruct-write) —
+                # read the span from every survivor, then write parity.
+                others = self._others_in_row(drive)
+                for other in others:
+                    if other != parity:
+                        plan.append(
+                            (other, DiskRequest(IoKind.READ, request_start, chunk))
+                        )
+                plan.append(
+                    (parity, DiskRequest(IoKind.WRITE, request_start, chunk))
+                )
+            elif not parity_ok:
+                # Parity drive dead: the data write proceeds unprotected
+                # (parity is recomputed wholesale when the drive rebuilds).
+                plan.append(
+                    (drive, DiskRequest(IoKind.WRITE, request_start, chunk))
                 )
             else:
                 # Read-modify-write: read old data, read old parity, write
                 # new data, write new parity.  The reads queue first; the
                 # writes land behind them on the same drives, which models
                 # the two serialized rounds of the classic small-write.
-                pieces.append(
-                    self.drives[drive].submit(
-                        DiskRequest(IoKind.READ, request_start, chunk)
-                    )
+                plan.append(
+                    (drive, DiskRequest(IoKind.READ, request_start, chunk))
                 )
-                pieces.append(
-                    self.drives[parity].submit(
-                        DiskRequest(IoKind.READ, request_start, chunk)
-                    )
+                plan.append(
+                    (parity, DiskRequest(IoKind.READ, request_start, chunk))
                 )
-                pieces.append(
-                    self.drives[drive].submit(
-                        DiskRequest(IoKind.WRITE, request_start, chunk)
-                    )
+                plan.append(
+                    (drive, DiskRequest(IoKind.WRITE, request_start, chunk))
                 )
-                pieces.append(
-                    self.drives[parity].submit(
-                        DiskRequest(IoKind.WRITE, request_start, chunk)
-                    )
+                plan.append(
+                    (parity, DiskRequest(IoKind.WRITE, request_start, chunk))
                 )
             offset += chunk
             remaining -= chunk
-        if full_row_write:
+        if full_row_write and parity_ok:
             # Parity computed in memory, written alongside the data.
-            pieces.append(
-                self.drives[parity].submit(DiskRequest(IoKind.WRITE, row_byte, su))
-            )
-        return pieces
+            plan.append((parity, DiskRequest(IoKind.WRITE, row_byte, su)))
+
+    def start_rebuild(self, drive_index: int, rows_per_chunk: int):
+        """Rebuild a replaced drive from the survivors, chunk by chunk.
+
+        Each chunk XORs the same byte span of every surviving drive
+        (reads issued in parallel, like a degraded read) and writes the
+        result to the replacement.  Rebuild traffic flows through the
+        ordinary queues, so it competes with foreground I/O.
+        """
+        target = self.drives[drive_index]
+        survivors = [
+            d for i, d in enumerate(self.drives) if i != drive_index
+        ]
+        chunk = max(1, rows_per_chunk) * self.stripe_unit_bytes
+        per_drive = self._per_drive_bytes
+
+        def rebuild():
+            position = 0
+            while position < per_drive:
+                length = min(chunk, per_drive - position)
+                yield AllOf(
+                    [
+                        d.submit(DiskRequest(IoKind.READ, position, length))
+                        for d in survivors
+                    ]
+                )
+                yield target.submit(DiskRequest(IoKind.WRITE, position, length))
+                if self.fault_injector is not None:
+                    self.fault_injector.note_rebuild_bytes(
+                        (len(survivors) + 1) * length
+                    )
+                position += length
+
+        return rebuild()
 
 
 class ParityStripedArray(DiskSystem):

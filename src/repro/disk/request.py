@@ -68,6 +68,18 @@ class ServiceBreakdown:
             self.transfer_ms + other.transfer_ms,
         )
 
+    def scaled(self, factor: float) -> "ServiceBreakdown":
+        """Every component scaled by ``factor`` (slow-disk fault model)."""
+        if factor < 0:
+            raise InvalidRequestError(f"negative service scale: {factor}")
+        if factor == 1.0:
+            return self
+        return ServiceBreakdown(
+            self.seek_ms * factor,
+            self.rotation_ms * factor,
+            self.transfer_ms * factor,
+        )
+
 
 #: Identity element for summing breakdowns.
 ZERO_BREAKDOWN = ServiceBreakdown(0.0, 0.0, 0.0)

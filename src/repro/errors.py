@@ -58,6 +58,46 @@ class ExperimentError(ReproError):
     """
 
 
+class FaultError(ReproError):
+    """A fault-injection plan or injector was configured incorrectly."""
+
+
+class DataUnavailableError(ReproError):
+    """An I/O request targets data no surviving drive can provide.
+
+    Raised by a disk organization when a request touches a failed drive
+    and redundancy cannot mask it: any access on a plain striped array,
+    or a second concurrent failure on a mirror / RAID-5 row.  The
+    workload driver treats it like a transient operation failure — the
+    user process logs it and retries after its think time.
+    """
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was interrupted (SIGINT) after partial completion.
+
+    Carries the checkpoint/partial-results location so the CLI can tell
+    the user where flushed state lives; maps to exit status 130.
+
+    Attributes:
+        partial_dir: where partial results / the checkpoint manifest were
+            flushed, or ``None`` when nothing was persisted.
+        completed: sweep points that finished before the interrupt.
+        total: sweep points submitted.
+    """
+
+    def __init__(
+        self, partial_dir: "str | None", completed: int, total: int
+    ) -> None:
+        self.partial_dir = partial_dir
+        self.completed = completed
+        self.total = total
+        where = f" (partial results flushed to {partial_dir})" if partial_dir else ""
+        super().__init__(
+            f"sweep interrupted after {completed}/{total} points{where}"
+        )
+
+
 class InvalidRequestError(ReproError):
     """A disk or file-system request is malformed (bad offset, size, id)."""
 

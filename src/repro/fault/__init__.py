@@ -1,0 +1,37 @@
+"""Seeded, deterministic fault injection for the simulated disk system.
+
+The paper evaluates allocation policies on healthy hardware; the value of
+the redundant organizations in :mod:`repro.disk.raid` only shows up when
+drives misbehave.  This package injects three fault families into a
+running simulation — transient read errors, whole-disk failures (with an
+optional repair + background rebuild), and slow-disk latency multipliers —
+all driven by a declarative :class:`FaultSpec` and a seeded RNG stream, so
+the same ``(spec, seed)`` pair reproduces bit-identical degraded-mode
+results in any process, at any ``--jobs`` count, on either engine variant.
+
+Layering: :class:`FaultSpec` (declarative, hashable, lives inside
+:class:`~repro.core.configs.ExperimentConfig`) → :class:`FaultInjector`
+(runtime: schedules the spec's events onto a simulator, flips per-drive
+:class:`DriveFaultState`, runs rebuilds, and meters degraded-mode
+throughput as a fraction of healthy throughput).
+"""
+
+from .injector import DriveFaultState, FaultInjector, FaultSummary
+from .plan import (
+    DiskFailure,
+    FaultSpec,
+    SlowDisk,
+    TransientFaults,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "DiskFailure",
+    "DriveFaultState",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSummary",
+    "SlowDisk",
+    "TransientFaults",
+    "parse_fault_spec",
+]

@@ -9,8 +9,52 @@ and per-operation latency, or a multi-policy comparison.
 from __future__ import annotations
 
 from ..core.experiments import PerformanceResult
+from ..fault.injector import FaultSummary
 from .figures import GroupedBarChart
 from .tables import Table
+
+
+def render_fault_summary(summary: FaultSummary) -> str:
+    """Degraded-mode dossier for a fault-injected run.
+
+    Reports foreground throughput in each mode (rebuild traffic is
+    excluded from the byte counts) and the paper-style normalization:
+    degraded-mode throughput as a percentage of healthy-mode throughput.
+    """
+    table = Table(
+        ["Metric", "Healthy", "Degraded"],
+        title="Fault injection: degraded-mode performance",
+    )
+    table.add_row(
+        [
+            "Time (s)",
+            f"{summary.healthy_ms / 1000:.1f}",
+            f"{summary.degraded_ms / 1000:.1f}",
+        ]
+    )
+    table.add_row(
+        [
+            "Foreground data (MiB)",
+            f"{summary.healthy_bytes / 2**20:.1f}",
+            f"{summary.degraded_bytes / 2**20:.1f}",
+        ]
+    )
+    table.add_row(
+        [
+            "Throughput (MiB/s)",
+            f"{summary.healthy_throughput * 1000 / 2**20:.2f}",
+            f"{summary.degraded_throughput * 1000 / 2**20:.2f}",
+        ]
+    )
+    footer = [
+        f"degraded throughput : {summary.degraded_percent_of_healthy:.1f}% of healthy",
+        f"disk failures       : {summary.disk_failures}",
+        f"rebuilds completed  : {summary.rebuilds_completed}",
+        f"rebuild data (MiB)  : {summary.rebuild_bytes / 2**20:.1f}",
+        f"transient errors    : {summary.transient_errors}",
+        f"slowdown windows    : {summary.slowdowns}",
+    ]
+    return table.render() + "\n\n" + "\n".join(footer)
 
 
 def render_performance_summary(result: PerformanceResult) -> str:
@@ -51,9 +95,12 @@ def render_performance_summary(result: PerformanceResult) -> str:
         f"disk-full events  : {result.disk_full_events}",
         f"governor converts : {result.governor_conversions}",
     ]
-    return "\n\n".join(
-        [header.render(), operations.render(), "\n".join(footer)]
-    )
+    if result.io_failures:
+        footer.append(f"I/O failures      : {result.io_failures}")
+    sections = [header.render(), operations.render(), "\n".join(footer)]
+    if result.faults is not None:
+        sections.append(render_fault_summary(result.faults))
+    return "\n\n".join(sections)
 
 
 def render_policy_comparison(

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..alloc.metrics import FragmentationReport
-from ..errors import DiskFullError, SimulationError
+from ..errors import DataUnavailableError, DiskFullError, SimulationError
 from ..fs.filesystem import FileSystem, FsFile
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStream
@@ -75,6 +75,7 @@ class WorkloadDriver:
         self.op_latency: dict[str, Tally] = {}
         self.disk_full_events = 0
         self.governor_conversions = 0
+        self.io_failures = 0
 
     # -- setup ------------------------------------------------------------------
 
@@ -149,6 +150,11 @@ class WorkloadDriver:
             # "a disk full condition is logged, and the current event is
             # rescheduled" — the user simply thinks again and retries.
             self.disk_full_events += 1
+        except DataUnavailableError:
+            # Injected fault exhausted the organization's redundancy for
+            # this span (e.g. a failed drive in a plain striped array).
+            # The application sees an I/O error; the user retries later.
+            self.io_failures += 1
         self.op_counts.incr(op.value)
         self.op_latency.setdefault(op.value, Tally()).add(self.sim.now - started)
 

@@ -1,0 +1,246 @@
+"""Tests for hardened sweep execution: the supervised pool, per-task
+timeouts, bounded retries, checkpoint/resume, and graceful interrupts."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.checkpoint import SweepCheckpoint
+from repro.core.configs import ExperimentConfig, FixedPolicy, SystemConfig
+from repro.core.pool import SupervisedPool
+from repro.core.runner import ExperimentRunner, ExperimentTask, ResultCache
+from repro.errors import ConfigurationError, SweepInterrupted
+
+
+# -- picklable work functions for the spawn workers -------------------------
+
+
+def well_behaved(x):
+    return ("ok", x * 2, 0.0)
+
+
+def crash_once_then_succeed(flag_path):
+    """SIGKILL ourselves on the first attempt; succeed on the retry."""
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as handle:
+            handle.write("attempted")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return ("ok", "recovered", 0.0)
+
+
+def hang(_):
+    time.sleep(300)
+
+
+def always_raises(_):
+    raise ValueError("deterministic divergence")
+
+
+def tiny_task(seed=7):
+    config = ExperimentConfig(
+        policy=FixedPolicy(),
+        workload="TS",
+        system=SystemConfig(scale=0.02),
+        seed=seed,
+    )
+    return ExperimentTask.performance(
+        config, app_cap_ms=8_000.0, seq_cap_ms=4_000.0
+    )
+
+
+class TestSupervisedPool:
+    def test_results_come_back_for_every_item(self):
+        pool = SupervisedPool(well_behaved, n_workers=2)
+        out = sorted(pool.run([(i, i) for i in range(5)]))
+        assert [(i, payload) for i, payload, _ in out] == [
+            (i, i) for i in range(5)
+        ]
+        assert all(outcome == ("ok", i * 2, 0.0) for i, _, outcome in out)
+
+    def test_crashed_worker_is_replaced_and_task_retried(self, tmp_path):
+        pool = SupervisedPool(
+            crash_once_then_succeed, n_workers=1, retries=1, backoff_base_s=0.05
+        )
+        [(index, _, (status, payload, _))] = list(
+            pool.run([(0, str(tmp_path / "flag"))])
+        )
+        assert (index, status, payload) == (0, "ok", "recovered")
+        assert pool.stats.crashes == 1
+        assert pool.stats.retries == 1
+        assert pool.stats.workers_replaced == 1
+
+    def test_crash_without_retries_is_reported_not_lost(self, tmp_path):
+        pool = SupervisedPool(crash_once_then_succeed, n_workers=1, retries=0)
+        [(index, _, (status, message, _))] = list(
+            pool.run([(0, str(tmp_path / "flag"))])
+        )
+        assert index == 0
+        assert status == "error"
+        assert "died" in message
+        assert "retries exhausted" in message
+
+    def test_timeout_kills_the_worker(self):
+        pool = SupervisedPool(hang, n_workers=1, timeout_s=0.3, retries=0)
+        [(index, _, (status, message, _))] = list(pool.run([(0, "x")]))
+        assert index == 0
+        assert status == "error"
+        assert "timeout" in message
+        assert pool.stats.timeouts == 1
+
+    def test_task_exceptions_are_not_retried(self):
+        pool = SupervisedPool(always_raises, n_workers=1, retries=3)
+        [(_, _, (status, message, _))] = list(pool.run([(0, "x")]))
+        assert status == "error"
+        assert "deterministic divergence" in message
+        assert pool.stats.retries == 0
+
+    def test_sibling_tasks_survive_a_crash(self, tmp_path):
+        # One crashing task among well-behaved ones: everyone completes.
+        def run():
+            pool = SupervisedPool(
+                crash_once_then_succeed,
+                n_workers=2,
+                retries=1,
+                backoff_base_s=0.05,
+            )
+            flags = [str(tmp_path / f"flag{i}") for i in range(3)]
+            return sorted(pool.run(list(enumerate(flags))))
+
+        out = run()
+        assert len(out) == 3
+        assert all(outcome[0] == "ok" for _, _, outcome in out)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(well_behaved, n_workers=0)
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(well_behaved, n_workers=1, timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SupervisedPool(well_behaved, n_workers=1, retries=-1)
+
+
+class TestResultCacheIntegrity:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("key", {"value": 41})
+        assert cache.load("key") == {"value": 41}
+
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path("bad").write_bytes(b"garbage that is not an entry")
+        assert cache.load("bad") is None
+        assert not cache.path("bad").exists()
+
+    def test_flipped_payload_byte_fails_checksum_and_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("key", {"value": 41})
+        blob = bytearray(cache.path("key").read_bytes())
+        blob[-1] ^= 0xFF
+        cache.path("key").write_bytes(bytes(blob))
+        assert cache.load("key") is None
+        assert not cache.path("key").exists()
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("key", list(range(100)))
+        blob = cache.path("key").read_bytes()
+        cache.path("key").write_bytes(blob[: len(blob) // 2])
+        assert cache.load("key") is None
+
+
+class TestCheckpointResume:
+    def seeds(self):
+        return (7, 8, 9)
+
+    def sweep(self):
+        return [tiny_task(seed) for seed in self.seeds()]
+
+    def test_interrupt_flushes_and_raises_130_material(self, tmp_path):
+        """Interrupting mid-sweep raises SweepInterrupted naming the
+        partial-results directory; completed points are checkpointed."""
+        calls = []
+
+        def interrupt_after_first(outcome, completed, total):
+            calls.append(outcome)
+            if completed == 1:
+                raise KeyboardInterrupt
+
+        runner = ExperimentRunner(
+            jobs=1,
+            checkpoint_dir=tmp_path / "ckpt",
+            progress=interrupt_after_first,
+        )
+        with pytest.raises(SweepInterrupted) as exc:
+            runner.run(self.sweep())
+        assert exc.value.completed == 1
+        assert exc.value.total == 3
+        assert str(tmp_path / "ckpt") in str(exc.value.partial_dir)
+        assert "partial results flushed" in str(exc.value)
+        assert SweepCheckpoint(tmp_path / "ckpt").completed == 0  # fresh view
+        ckpt = SweepCheckpoint(tmp_path / "ckpt")
+        ckpt.begin(total=3, resume=True)
+        assert ckpt.completed == 1
+
+    def test_resume_is_bit_identical_to_uninterrupted(self, tmp_path):
+        reference = ExperimentRunner(jobs=1).results(self.sweep())
+
+        def interrupt_after_first(outcome, completed, total):
+            if completed == 1:
+                raise KeyboardInterrupt
+
+        interrupted = ExperimentRunner(
+            jobs=1,
+            checkpoint_dir=tmp_path / "ckpt",
+            progress=interrupt_after_first,
+        )
+        with pytest.raises(SweepInterrupted):
+            interrupted.run(self.sweep())
+
+        resumed = ExperimentRunner(
+            jobs=1, checkpoint_dir=tmp_path / "ckpt", resume=True
+        )
+        results = resumed.results(self.sweep())
+        assert results == reference
+        # The point completed before the interrupt was replayed, not rerun.
+        assert resumed.stats.cached == 1
+        assert resumed.stats.executed == 2
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(resume=True)
+
+    def test_corrupt_manifest_resumes_nothing(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{ not json")
+        ckpt = SweepCheckpoint(tmp_path)
+        ckpt.begin(total=2, resume=True)
+        assert ckpt.completed == 0
+
+    def test_checkpoint_results_validate_on_read(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path)
+        ckpt.begin(total=1, resume=False)
+        ckpt.record("abc", {"x": 1})
+        assert ckpt.result_for("abc") == {"x": 1}
+        # Corrupt the stored result: the checkpoint treats it as missing.
+        path = ckpt.results.path("abc")
+        path.write_bytes(b"junk")
+        assert ckpt.result_for("abc") is None
+
+
+class TestRunnerTimeout:
+    def test_timeout_surfaces_as_structured_error(self):
+        # 50ms of wall clock is never enough to simulate this point, so
+        # the supervised pool kills the worker and reports a timeout.
+        runner = ExperimentRunner(jobs=1, timeout_s=0.05)
+        [outcome] = runner.run([tiny_task()])
+        assert not outcome.ok
+        assert "timeout" in outcome.error
+        assert runner.stats.failed == 1
+
+    def test_timeout_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(timeout_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(retries=-1)

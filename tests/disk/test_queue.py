@@ -4,8 +4,9 @@ import pytest
 
 from repro.disk.geometry import WREN_IV
 from repro.disk.queue import QueuedDrive
-from repro.disk.request import DiskRequest, IoKind
-from repro.sim.engine import Simulator
+from repro.disk.request import DiskRequest, IoKind, ServiceBreakdown
+from repro.errors import InvalidRequestError, SimulationError
+from repro.sim.engine import Simulator, Waitable
 
 
 def read(start, length):
@@ -171,7 +172,67 @@ class TestElevator:
         assert total_time("elevator") < total_time("fcfs")
 
     def test_unknown_discipline_raises(self):
-        from repro.errors import SimulationError
-
         with pytest.raises(SimulationError):
             QueuedDrive(Simulator(), WREN_IV, discipline="sstf!")
+
+
+class TestRequestInvariants:
+    """Malformed inputs fail loudly at the boundary, not deep in a
+    simulation callback hours later."""
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            DiskRequest(IoKind.READ, -1, 1024)
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            DiskRequest(IoKind.READ, 0, 0)
+        with pytest.raises(InvalidRequestError):
+            DiskRequest(IoKind.READ, 0, -8192)
+
+    def test_out_of_range_span_rejected_at_submit(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+        capacity = WREN_IV.capacity_bytes
+        with pytest.raises(InvalidRequestError):
+            drive.submit(read(capacity, 1024))
+        with pytest.raises(InvalidRequestError):
+            # Starts in range but runs off the end of the platters.
+            drive.submit(read(capacity - 512, 1024))
+        # The rejected requests left no trace: the drive still works.
+        assert drive.queue_depth == 0
+        drive.submit(read(capacity - 1024, 1024))
+        sim.run()
+        assert drive.requests_served == 1
+
+    def test_last_byte_span_accepted(self):
+        sim = Simulator()
+        drive = QueuedDrive(sim, WREN_IV)
+        waitable = drive.submit(read(WREN_IV.capacity_bytes - 8192, 8192))
+        sim.run()
+        assert waitable.done
+
+    def test_duplicate_completion_rejected(self):
+        sim = Simulator()
+        waitable = Waitable()
+        waitable.succeed(sim)
+        with pytest.raises(SimulationError):
+            waitable.succeed(sim)
+
+    def test_waiting_on_completed_waitable_rejected(self):
+        sim = Simulator()
+        waitable = Waitable()
+        waitable.succeed(sim)
+        with pytest.raises(SimulationError):
+            waitable.on_success(lambda _sim, _value: None)
+
+    def test_service_scale_rejects_negative(self):
+        breakdown = ServiceBreakdown(1.0, 2.0, 3.0)
+        with pytest.raises(InvalidRequestError):
+            breakdown.scaled(-1.0)
+
+    def test_service_scale_identity_and_stretch(self):
+        breakdown = ServiceBreakdown(1.0, 2.0, 3.0)
+        assert breakdown.scaled(1.0) is breakdown
+        doubled = breakdown.scaled(2.0)
+        assert doubled.total_ms == pytest.approx(12.0)

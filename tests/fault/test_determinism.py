@@ -1,0 +1,92 @@
+"""Fault-injection determinism: the tentpole reproducibility guarantees.
+
+A fixed ``(FaultSpec, seed)`` must produce bit-identical degraded-mode
+results (a) whether the sweep runs inline or across worker processes at
+any ``--jobs`` count, and (b) on both event-engine variants (the
+zero-delay fast path and the pure-heap reference engine).  Transient
+faults draw from the per-drive RNG in request-service order, so any
+divergence in event ordering shows up immediately as a different
+:class:`~repro.fault.injector.FaultSummary`.
+"""
+
+import pytest
+
+from repro.core.configs import ExperimentConfig, FixedPolicy, SystemConfig
+from repro.core.experiments import run_performance_experiment
+from repro.core.runner import ExperimentRunner, ExperimentTask
+from repro.fault.plan import parse_fault_spec
+from repro.sim.engine import Simulator
+
+#: Small but non-trivial: one failure with rebuild, one slowdown, and a
+#: transient stream, on a redundant organization.
+SPEC = parse_fault_spec(
+    "fail:drive=1,at=8000,repair=15000;slow:drive=0,at=0,factor=2,for=10000;"
+    "transient:rate=0.002"
+)
+
+
+def faulted_config(seed: int, organization: str = "raid5") -> ExperimentConfig:
+    return ExperimentConfig(
+        policy=FixedPolicy(),
+        workload="TS",
+        system=SystemConfig(scale=0.02, organization=organization),
+        seed=seed,
+        faults=SPEC,
+    )
+
+
+def tasks(seeds):
+    return [
+        ExperimentTask.performance(
+            faulted_config(seed), app_cap_ms=20_000.0, seq_cap_ms=10_000.0
+        )
+        for seed in seeds
+    ]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("organization", ["raid5", "mirrored"])
+    def test_fast_and_reference_engines_agree(self, organization):
+        results = {}
+        for label, immediate_queue in (("fast", True), ("reference", False)):
+
+            def factory(flag=immediate_queue):
+                return Simulator(immediate_queue=flag)
+
+            results[label] = run_performance_experiment(
+                faulted_config(7, organization),
+                app_cap_ms=20_000.0,
+                seq_cap_ms=10_000.0,
+                simulator_factory=factory,
+            )
+        assert results["fast"] == results["reference"]
+        assert results["fast"].faults is not None
+        assert results["fast"].faults.disk_failures == 1
+
+    def test_same_seed_is_bit_identical(self):
+        first = run_performance_experiment(
+            faulted_config(7), app_cap_ms=20_000.0, seq_cap_ms=10_000.0
+        )
+        second = run_performance_experiment(
+            faulted_config(7), app_cap_ms=20_000.0, seq_cap_ms=10_000.0
+        )
+        assert first == second
+
+    def test_different_seed_differs(self):
+        a = run_performance_experiment(
+            faulted_config(7), app_cap_ms=20_000.0, seq_cap_ms=10_000.0
+        )
+        b = run_performance_experiment(
+            faulted_config(8), app_cap_ms=20_000.0, seq_cap_ms=10_000.0
+        )
+        assert a != b
+
+
+class TestJobCountEquivalence:
+    def test_jobs_1_and_jobs_4_bit_identical(self):
+        sweep = tasks(seeds=(7, 8, 9, 10))
+        serial = ExperimentRunner(jobs=1).results(sweep)
+        parallel = ExperimentRunner(jobs=4).results(tasks(seeds=(7, 8, 9, 10)))
+        assert serial == parallel
+        assert all(r.faults is not None for r in serial)
+        assert all(r.faults.disk_failures == 1 for r in serial)

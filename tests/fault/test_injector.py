@@ -1,0 +1,247 @@
+"""Behavioral tests for fault injection and degraded-mode organizations."""
+
+import pytest
+
+from repro.disk.array import StripedArray
+from repro.disk.geometry import TINY_DISK
+from repro.disk.raid import MirroredArray, Raid5Array
+from repro.disk.request import IoKind
+from repro.errors import DataUnavailableError, FaultError
+from repro.fault import DiskFailure, FaultInjector, FaultSpec, parse_fault_spec
+from repro.fault.plan import SlowDisk, TransientFaults
+from repro.sim.engine import Simulator
+
+STRIPE = 8192
+UNIT = 4096
+
+
+def build(cls, sim, n_disks=4):
+    return cls(sim, TINY_DISK, n_disks, STRIPE, UNIT)
+
+
+def fail_at(drive, at_ms, repair_after_ms=None):
+    return FaultSpec(failures=(DiskFailure(at_ms, drive, repair_after_ms),))
+
+
+def run_ops(sim, system, n_ops=60, kind=IoKind.READ):
+    """Drive a steady request stream; return per-op completion times."""
+    done = []
+
+    def proc():
+        for i in range(n_ops):
+            waitable = system.transfer(kind, (i * 4) % (system.capacity_units - 8), 4)
+            yield waitable
+            done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    return done
+
+
+class TestValidation:
+    def test_rejects_out_of_range_drive(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        with pytest.raises(FaultError):
+            FaultInjector(sim, array, fail_at(9, 10.0))
+
+    def test_rejects_double_failure_of_same_drive(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        spec = FaultSpec(
+            failures=(DiskFailure(10.0, 1), DiskFailure(20.0, 1))
+        )
+        with pytest.raises(FaultError):
+            FaultInjector(sim, array, spec)
+
+    def test_attaches_state_to_every_drive(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        FaultInjector(sim, array, fail_at(0, 10.0))
+        assert all(d.fault_state is not None for d in array.drives)
+
+
+class TestStripedFailure:
+    def test_failed_drive_makes_data_unavailable(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        FaultInjector(sim, array, fail_at(1, 0.0))
+        sim.run(until=1.0)
+        with pytest.raises(DataUnavailableError):
+            # A span wide enough to touch every drive.
+            array.transfer(IoKind.READ, 0, 4 * (STRIPE // UNIT))
+        assert array.degraded
+
+    def test_unrepaired_drive_stays_offline(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        injector = FaultInjector(sim, array, fail_at(1, 5.0))
+        run_ops(sim, array, n_ops=1)
+        sim.run()
+        assert not array.drives[1].fault_state.available
+        assert injector.summary().disk_failures == 1
+
+
+class TestMirroredDegradedMode:
+    def test_reads_survive_single_failure(self):
+        sim = Simulator()
+        array = build(MirroredArray, sim)
+        FaultInjector(sim, array, fail_at(0, 0.0))
+        done = run_ops(sim, array, n_ops=20)
+        assert len(done) == 20
+
+    def test_writes_survive_single_failure(self):
+        sim = Simulator()
+        array = build(MirroredArray, sim)
+        FaultInjector(sim, array, fail_at(0, 0.0))
+        done = run_ops(sim, array, n_ops=20, kind=IoKind.WRITE)
+        assert len(done) == 20
+
+    def test_both_copies_failed_raises(self):
+        sim = Simulator()
+        array = build(MirroredArray, sim)
+        n = len(array.primary.drives)
+        spec = FaultSpec(
+            failures=(DiskFailure(0.0, 0), DiskFailure(0.0, n))
+        )
+        FaultInjector(sim, array, spec)
+        sim.run(until=1.0)
+        with pytest.raises(DataUnavailableError):
+            array.transfer(IoKind.READ, 0, 4 * (STRIPE // UNIT))
+
+    def test_rebuild_completes_and_restores(self):
+        sim = Simulator()
+        array = build(MirroredArray, sim)
+        injector = FaultInjector(sim, array, fail_at(0, 10.0, repair_after_ms=50.0))
+        run_ops(sim, array, n_ops=40)
+        sim.run()
+        summary = injector.summary()
+        assert summary.rebuilds_completed == 1
+        assert summary.rebuild_bytes > 0
+        assert array.drives[0].fault_state.available
+        assert not array.degraded
+
+
+class TestRaid5DegradedMode:
+    def test_reads_reconstruct_around_failure(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        FaultInjector(sim, array, fail_at(2, 0.0))
+        done = run_ops(sim, array, n_ops=20)
+        assert len(done) == 20
+
+    def test_degraded_read_costs_extra_drive_requests(self):
+        # Reconstruction reads every surviving drive in the row, so a
+        # degraded read issues more per-drive requests than a healthy one.
+        healthy_sim = Simulator()
+        healthy = build(Raid5Array, healthy_sim)
+        run_ops(healthy_sim, healthy, n_ops=20)
+        healthy_requests = sum(d.requests_served for d in healthy.drives)
+
+        degraded_sim = Simulator()
+        degraded = build(Raid5Array, degraded_sim)
+        FaultInjector(degraded_sim, degraded, fail_at(2, 0.0))
+        run_ops(degraded_sim, degraded, n_ops=20)
+        degraded_requests = sum(d.requests_served for d in degraded.drives)
+        assert degraded_requests > healthy_requests
+
+    def test_writes_survive_single_failure(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        FaultInjector(sim, array, fail_at(1, 0.0))
+        done = run_ops(sim, array, n_ops=20, kind=IoKind.WRITE)
+        assert len(done) == 20
+
+    def test_double_failure_raises(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        spec = FaultSpec(
+            failures=(DiskFailure(0.0, 0), DiskFailure(0.0, 1))
+        )
+        FaultInjector(sim, array, spec)
+        sim.run(until=1.0)
+        with pytest.raises(DataUnavailableError):
+            array.transfer(IoKind.READ, 0, 4 * (STRIPE // UNIT))
+
+    def test_rebuild_completes_and_restores(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        injector = FaultInjector(sim, array, fail_at(1, 10.0, repair_after_ms=50.0))
+        run_ops(sim, array, n_ops=40)
+        sim.run()
+        summary = injector.summary()
+        assert summary.rebuilds_completed == 1
+        assert summary.rebuild_bytes > 0
+        assert not array.degraded
+
+    def test_degraded_windows_are_metered(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        injector = FaultInjector(sim, array, fail_at(1, 50.0, repair_after_ms=100.0))
+        run_ops(sim, array, n_ops=60)
+        sim.run()
+        summary = injector.summary()
+        assert summary.healthy_ms > 0
+        assert summary.degraded_ms > 0
+        assert summary.healthy_bytes > 0
+        assert summary.degraded_bytes > 0
+        assert 0 < summary.degraded_percent_of_healthy
+
+
+class TestTransientsAndSlowdowns:
+    def test_transient_errors_slow_reads_down(self):
+        clean_sim = Simulator()
+        clean = build(StripedArray, clean_sim)
+        clean_done = run_ops(clean_sim, clean, n_ops=40)
+
+        faulty_sim = Simulator()
+        faulty = build(StripedArray, faulty_sim)
+        spec = FaultSpec(transients=(TransientFaults(rate=0.5),))
+        injector = FaultInjector(faulty_sim, faulty, spec, seed=3)
+        faulty_done = run_ops(faulty_sim, faulty, n_ops=40)
+
+        assert injector.summary().transient_errors > 0
+        assert faulty_done[-1] > clean_done[-1]
+
+    def test_transients_do_not_affect_writes(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        spec = FaultSpec(transients=(TransientFaults(rate=1.0),))
+        injector = FaultInjector(sim, array, spec, seed=3)
+        run_ops(sim, array, n_ops=10, kind=IoKind.WRITE)
+        assert injector.summary().transient_errors == 0
+
+    def test_slow_disk_stretches_service(self):
+        clean_sim = Simulator()
+        clean = build(StripedArray, clean_sim)
+        clean_done = run_ops(clean_sim, clean, n_ops=40)
+
+        slow_sim = Simulator()
+        slow = build(StripedArray, slow_sim)
+        spec = FaultSpec(slowdowns=(SlowDisk(0.0, 0, 4.0),))
+        FaultInjector(slow_sim, slow, spec)
+        slow_done = run_ops(slow_sim, slow, n_ops=40)
+        assert slow_done[-1] > clean_done[-1]
+
+    def test_slow_window_ends(self):
+        sim = Simulator()
+        array = build(StripedArray, sim)
+        spec = FaultSpec(slowdowns=(SlowDisk(0.0, 0, 4.0, duration_ms=100.0),))
+        FaultInjector(sim, array, spec)
+        sim.run()
+        assert array.drives[0].fault_state.slow_factor == 1.0
+
+    def test_parse_then_inject_roundtrip(self):
+        sim = Simulator()
+        array = build(Raid5Array, sim)
+        spec = parse_fault_spec(
+            "fail:drive=1,at=20,repair=80;slow:drive=0,at=0,factor=2,for=50;"
+            "transient:rate=0.1"
+        )
+        injector = FaultInjector(sim, array, spec, seed=11)
+        run_ops(sim, array, n_ops=40)
+        sim.run()
+        summary = injector.summary()
+        assert summary.disk_failures == 1
+        assert summary.slowdowns == 1
+        assert summary.rebuilds_completed == 1

@@ -1,0 +1,120 @@
+"""Unit tests for the declarative fault plan and its mini-grammar."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError
+from repro.fault.plan import (
+    ALL_DRIVES,
+    DiskFailure,
+    FaultSpec,
+    SlowDisk,
+    TransientFaults,
+    parse_fault_spec,
+)
+
+
+class TestValidation:
+    def test_failure_rejects_negative_time(self):
+        with pytest.raises(FaultError):
+            DiskFailure(at_ms=-1.0, drive=0)
+
+    def test_failure_rejects_negative_drive(self):
+        with pytest.raises(FaultError):
+            DiskFailure(at_ms=0.0, drive=-2)
+
+    def test_failure_rejects_negative_repair(self):
+        with pytest.raises(FaultError):
+            DiskFailure(at_ms=0.0, drive=0, repair_after_ms=-1.0)
+
+    def test_slow_disk_rejects_speedup(self):
+        with pytest.raises(FaultError):
+            SlowDisk(at_ms=0.0, drive=0, factor=0.5)
+
+    def test_slow_disk_rejects_nonpositive_duration(self):
+        with pytest.raises(FaultError):
+            SlowDisk(at_ms=0.0, drive=0, factor=2.0, duration_ms=0.0)
+
+    def test_transient_rate_bounds(self):
+        with pytest.raises(FaultError):
+            TransientFaults(rate=-0.1)
+        with pytest.raises(FaultError):
+            TransientFaults(rate=1.5)
+        with pytest.raises(FaultError):
+            TransientFaults(rate=0.1, start_ms=10.0, end_ms=5.0)
+
+
+class TestSpec:
+    def test_empty(self):
+        assert FaultSpec().empty
+        assert not FaultSpec(failures=(DiskFailure(0.0, 0),)).empty
+
+    def test_hashable_and_stable(self):
+        a = FaultSpec(failures=(DiskFailure(5.0, 1, 10.0),))
+        b = FaultSpec(failures=(DiskFailure(5.0, 1, 10.0),))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_describe_mentions_every_clause(self):
+        spec = FaultSpec(
+            failures=(DiskFailure(5.0, 1),),
+            slowdowns=(SlowDisk(0.0, 0, 4.0),),
+            transients=(TransientFaults(0.01),),
+        )
+        text = spec.describe()
+        assert "fail" in text and "slow" in text and "transient" in text
+
+
+class TestGrammar:
+    def test_parse_failure(self):
+        spec = parse_fault_spec("fail:drive=2,at=5000,repair=20000")
+        assert spec.failures == (DiskFailure(5000.0, 2, 20000.0),)
+
+    def test_parse_failure_without_repair(self):
+        spec = parse_fault_spec("fail:drive=2,at=5000")
+        assert spec.failures[0].repair_after_ms is None
+
+    def test_parse_slow(self):
+        spec = parse_fault_spec("slow:drive=1,at=0,factor=4,for=30000")
+        assert spec.slowdowns == (SlowDisk(0.0, 1, 4.0, 30000.0),)
+
+    def test_parse_slow_defaults_to_forever(self):
+        spec = parse_fault_spec("slow:drive=1,at=0,factor=4")
+        assert spec.slowdowns[0].duration_ms == math.inf
+
+    def test_parse_transient_defaults_to_all_drives(self):
+        spec = parse_fault_spec("transient:rate=0.001")
+        assert spec.transients == (TransientFaults(0.001, ALL_DRIVES),)
+
+    def test_parse_multiple_clauses(self):
+        spec = parse_fault_spec(
+            "fail:drive=0,at=100;slow:drive=1,at=0,factor=2;transient:rate=0.5"
+        )
+        assert len(spec.failures) == 1
+        assert len(spec.slowdowns) == 1
+        assert len(spec.transients) == 1
+
+    def test_parse_roundtrips_through_equality(self):
+        text = "fail:drive=2,at=5000,repair=20000;transient:rate=0.001,drive=2"
+        assert parse_fault_spec(text) == parse_fault_spec(text)
+
+    def test_parse_rejects_unknown_clause(self):
+        with pytest.raises(FaultError):
+            parse_fault_spec("explode:drive=0")
+
+    def test_parse_rejects_unknown_field(self):
+        with pytest.raises(FaultError):
+            parse_fault_spec("fail:drive=0,at=0,color=red")
+
+    def test_parse_rejects_missing_required_field(self):
+        with pytest.raises(FaultError):
+            parse_fault_spec("fail:at=5000")
+
+    def test_parse_rejects_bad_number(self):
+        with pytest.raises(FaultError):
+            parse_fault_spec("fail:drive=zero,at=5000")
+
+    def test_parse_empty_text(self):
+        assert parse_fault_spec("").empty
+        assert parse_fault_spec("  ").empty

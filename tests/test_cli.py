@@ -37,6 +37,41 @@ class TestParser:
         assert args.cache_dir == "/tmp/x"
         assert args.no_cache
 
+    def test_supervision_flags(self):
+        args = build_parser().parse_args(
+            [
+                "compare", "--timeout", "120", "--retries", "2",
+                "--checkpoint", "/tmp/ckpt", "--resume",
+            ]
+        )
+        assert args.timeout == 120.0
+        assert args.retries == 2
+        assert args.checkpoint == "/tmp/ckpt"
+        assert args.resume
+
+    def test_supervision_defaults_off(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.checkpoint is None
+        assert not args.resume
+
+    def test_perf_fault_flags(self):
+        args = build_parser().parse_args(
+            ["perf", "--organization", "raid5", "--inject", "fail:drive=0,at=100"]
+        )
+        assert args.organization == "raid5"
+        assert args.inject == "fail:drive=0,at=100"
+
+    def test_perf_rejects_unknown_organization(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--organization", "raid7"])
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.organization == "raid5"
+        assert "fail:" in args.inject
+
 
 class TestMakePolicy:
     def args(self, **overrides):
@@ -122,6 +157,51 @@ class TestCommands:
         assert "repro.disk.queue" in out
         assert "cProfile" in out
 
+    def test_faults_runs_and_reports_degraded_mode(self, capsys):
+        code = main(
+            [
+                "faults", "--scale", "0.02", "--cap-ms", "20000",
+                "--inject", "fail:drive=1,at=8000,repair=15000",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan:" in out
+        assert "Degraded" in out
+        assert "disk failures" in out
+
+    def test_faults_rejects_empty_plan(self, capsys):
+        code = main(["faults", "--inject", "", "--no-cache"])
+        assert code == 2
+        assert "fault plan is empty" in capsys.readouterr().err
+
+    def test_perf_with_injection_reports_faults(self, capsys):
+        code = main(
+            [
+                "perf", "--scale", "0.02", "--cap-ms", "15000",
+                "--organization", "mirrored",
+                "--inject", "slow:drive=0,at=0,factor=2",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slowdown windows" in out
+
+    def test_checkpointed_sweep_resumes(self, capsys, tmp_path):
+        argv = [
+            "alloc", "--policy", "extent", "--workload", "SC",
+            "--scale", "0.03", "--no-cache",
+            "--checkpoint", str(tmp_path / "ckpt"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "0 executed, 1 cached" in captured.err
+        assert "Internal fragmentation" in captured.out
+
     def test_alloc_warm_cache_executes_nothing(self, capsys, tmp_path):
         argv = [
             "alloc", "--policy", "extent", "--workload", "SC",
@@ -160,3 +240,28 @@ class TestExitCodes:
             ]
         )
         assert "error" not in capsys.readouterr().out
+
+    def test_interrupted_sweep_exits_130(self, capsys, monkeypatch):
+        from repro.core.runner import ExperimentRunner
+        from repro.errors import SweepInterrupted
+
+        def interrupted(self, tasks):
+            raise SweepInterrupted("/tmp/ckpt", 1, 3)
+
+        monkeypatch.setattr(ExperimentRunner, "run", interrupted)
+        code = main(["alloc", "--scale", "0.03", "--no-cache"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "1/3 points done" in err
+        assert "partial results flushed to /tmp/ckpt" in err
+
+    def test_bare_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro.core.runner import ExperimentRunner
+
+        def interrupted(self, tasks):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ExperimentRunner, "run", interrupted)
+        code = main(["alloc", "--scale", "0.03", "--no-cache"])
+        assert code == 130
+        assert "repro: interrupted" in capsys.readouterr().err

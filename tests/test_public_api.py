@@ -42,6 +42,7 @@ class TestSubpackageDocstrings:
         import repro.alloc
         import repro.core
         import repro.disk
+        import repro.fault
         import repro.fs
         import repro.report
         import repro.sim
@@ -52,6 +53,7 @@ class TestSubpackageDocstrings:
             repro,
             repro.sim,
             repro.disk,
+            repro.fault,
             repro.alloc,
             repro.fs,
             repro.workload,
