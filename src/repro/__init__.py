@@ -100,6 +100,14 @@ from .fault import (
     parse_fault_spec,
 )
 from .fs import FileSystem, FsFile
+from .obs import (
+    MetricsRegistry,
+    SweepTelemetry,
+    TraceData,
+    Tracer,
+    trace_to_chrome,
+    trace_to_jsonl,
+)
 from .sim import RandomStream, Simulator, ThroughputMeter
 from .workload import (
     Profile,
@@ -177,6 +185,13 @@ __all__ = [
     "sweep_restricted_performance",
     "sweep_extent_fragmentation",
     "sweep_extent_performance",
+    # obs
+    "Tracer",
+    "TraceData",
+    "MetricsRegistry",
+    "SweepTelemetry",
+    "trace_to_chrome",
+    "trace_to_jsonl",
     # fault
     "FaultSpec",
     "DiskFailure",

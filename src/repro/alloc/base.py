@@ -95,6 +95,14 @@ class Allocator(abc.ABC):
         self.allocation_requests = 0
         self.failed_requests = 0
 
+    def counters(self) -> dict[str, int]:
+        """Request-level counters for the metrics snapshot."""
+        return {
+            "alloc.requests": self.allocation_requests,
+            "alloc.failed_requests": self.failed_requests,
+            "alloc.live_files": len(self.files),
+        }
+
     # -- public API ---------------------------------------------------------
 
     def create(self, size_hint_units: int = 0) -> AllocFile:

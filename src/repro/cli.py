@@ -26,9 +26,11 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 import time
+from pathlib import Path
 
 from .core.comparison import figure6
 from .core.experiments import run_performance_experiment
@@ -49,9 +51,14 @@ from .core.configs import (
 from .disk.geometry import WREN_IV
 from .errors import ReproError, SweepInterrupted
 from .fault.plan import parse_fault_spec
+from .obs import SweepTelemetry, trace_to_chrome, trace_to_jsonl
 from .sim.engine import Simulator
 from .report.figures import GroupedBarChart
-from .report.summary import render_fault_summary, render_performance_summary
+from .report.summary import (
+    render_fault_summary,
+    render_metrics_snapshot,
+    render_performance_summary,
+)
 from .report.tables import Table
 from .units import MIB
 
@@ -91,23 +98,42 @@ def _progress(outcome, completed: int, total: int) -> None:
 
 
 def make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    """Build the experiment runner from the common CLI flags."""
+    """Build the experiment runner from the common CLI flags.
+
+    ``--live`` wires a :class:`~repro.obs.telemetry.SweepTelemetry` view:
+    running experiments stream progress frames (over the supervision
+    pipes for pool workers, directly for inline runs) and a throttled
+    status line lands on stderr.  stdout stays byte-identical either
+    way.
+    """
     cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    view = (
+        SweepTelemetry(sys.stderr) if getattr(args, "live", False) else None
+    )
+
+    def progress(outcome, completed: int, total: int) -> None:
+        if view is not None:
+            view.note_point_done(completed, total, index=outcome.index)
+        _progress(outcome, completed, total)
+
     return ExperimentRunner(
         jobs=args.jobs,
         cache_dir=cache_dir,
         use_cache=not args.no_cache,
-        progress=_progress,
+        progress=progress,
         timeout_s=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 0),
         checkpoint_dir=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", False),
+        telemetry=view.on_frame if view is not None else None,
     )
 
 
 def _finish(runner: ExperimentRunner) -> None:
     """Report the runner's stat counters on stderr."""
     print(f"runner: {runner.stats.summary()}", file=sys.stderr)
+    if runner.cache is not None:
+        print(f"runner: {runner.cache.stats_line()}", file=sys.stderr)
 
 
 def cmd_alloc(args: argparse.Namespace) -> int:
@@ -243,6 +269,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
     wall_s = time.perf_counter() - started
     sim = sims[0]
 
+    if args.json:
+        document = {
+            "config": config.describe(),
+            "wall_s": wall_s,
+            "simulated_ms": sim.now,
+            "events_executed": sim.events_executed,
+            "events_per_sec": sim.events_executed / wall_s,
+            "pending_events": sim.pending_events,
+            "compactions": sim.compactions,
+            "application_percent": result.application.percent,
+            "sequential_percent": result.sequential.percent,
+            "subsystems": sim.profile.as_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
     print(f"profile: {config.describe()}")
     print(
         f"wall {wall_s:.2f}s, simulated {sim.now / 1000.0:.1f}s, "
@@ -263,6 +305,62 @@ def cmd_profile(args: argparse.Namespace) -> int:
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("tottime").print_stats(args.top)
     print(stream.getvalue().rstrip())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a span trace (and optionally metrics) of one perf point.
+
+    The trace is deterministic — same config and seed, same bytes — and
+    the Chrome format loads directly into https://ui.perfetto.dev.  The
+    document goes to ``--trace-out`` when given, else to stdout; status
+    lines stay on stderr either way.
+    """
+    system = SystemConfig(scale=args.scale, organization=args.organization)
+    policy = make_policy(args.policy, args.workload, args)
+    faults = parse_fault_spec(args.inject) if args.inject else None
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed,
+        faults=faults,
+    )
+    runner = make_runner(args)
+    task = ExperimentTask.performance(
+        config,
+        app_cap_ms=args.cap_ms,
+        seq_cap_ms=args.cap_ms,
+        collect_trace=True,
+        collect_metrics=args.metrics,
+    )
+    result = runner.results([task])[0]
+    _finish(runner)
+    trace = result.trace
+    render = trace_to_chrome if args.format == "chrome" else trace_to_jsonl
+    rendered = render(trace)
+    if args.trace_out:
+        Path(args.trace_out).write_text(rendered)
+        print(
+            f"trace: {trace.span_count} spans, {len(trace.instants)} "
+            f"instants, {trace.frozen_at_ms / 1000.0:.1f}s simulated -> "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.json:
+        document = {
+            "config": config.describe(),
+            "format": args.format,
+            "span_count": trace.span_count,
+            "instant_count": len(trace.instants),
+            "frozen_at_ms": trace.frozen_at_ms,
+            "application_percent": result.application.percent,
+            "sequential_percent": result.sequential.percent,
+        }
+        if result.metrics is not None:
+            document["metrics"] = result.metrics
+        print(json.dumps(document, indent=2, sort_keys=True))
+    elif not args.trace_out:
+        sys.stdout.write(rendered)
+    elif result.metrics is not None:
+        print(render_metrics_snapshot(result.metrics))
     return 0
 
 
@@ -322,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--resume", action="store_true",
                        help="replay points already completed in the "
                             "--checkpoint directory instead of re-running")
+        p.add_argument("--live", action="store_true",
+                       help="render a live telemetry status line on stderr "
+                            "(per-point stage/progress/ETA; stdout is "
+                            "unaffected)")
 
     def add_policy(p: argparse.ArgumentParser) -> None:
         p.add_argument("--policy", choices=POLICY_NAMES, default="restricted")
@@ -387,7 +489,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "profiling needs samples, not stabilization)")
     profile.add_argument("--top", type=int, default=12,
                          help="cProfile rows to print")
+    profile.add_argument("--json", action="store_true",
+                         help="print engine counters and the per-subsystem "
+                              "breakdown as JSON (no cProfile text)")
     profile.set_defaults(func=cmd_profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a span trace of one perf point "
+             "(Chrome/Perfetto or JSONL)",
+    )
+    add_common(trace)
+    trace.add_argument("--cap-ms", type=float, default=8_000.0,
+                       help="simulated-time cap per phase (small by default: "
+                            "traces grow with simulated time)")
+    trace.add_argument("--organization", choices=ORGANIZATIONS,
+                       default="striped",
+                       help="disk organization under test")
+    trace.add_argument("--inject", default=None, metavar="CLAUSES",
+                       help="fault plan (same grammar as perf --inject); "
+                            "fault flips appear as instant events")
+    trace.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write the trace document here instead of stdout")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome",
+                       help="chrome: one trace_event JSON document "
+                            "(Perfetto-loadable); jsonl: one object per line")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also collect the metrics snapshot (histograms, "
+                            "counters) and report it")
+    trace.add_argument("--json", action="store_true",
+                       help="print a JSON summary (span counts, phase "
+                            "percentages, metrics) to stdout")
+    trace.set_defaults(func=cmd_trace)
 
     table1 = sub.add_parser("table1", help="print the simulated disk system")
     table1.set_defaults(func=cmd_table1)

@@ -22,6 +22,9 @@ from typing import Callable
 from ..errors import ConfigurationError, DiskFullError
 from ..fault.injector import FaultInjector, FaultSummary
 from ..fs.filesystem import FileSystem
+from ..obs.metrics import SEEK_DISTANCE_EDGES, MetricsRegistry
+from ..obs.telemetry import emit, progress_frame, telemetry_enabled
+from ..obs.tracer import TraceData, Tracer, drive_lane
 from ..sim.engine import Simulator
 from ..sim.meters import ThroughputMeter
 from ..sim.rng import RandomStream
@@ -137,7 +140,12 @@ class PerformanceResult:
 
     ``io_failures`` and ``faults`` are only non-trivial when the config
     carries a :class:`~repro.fault.plan.FaultSpec`; fault-free runs report
-    0 and ``None``.
+    0 and ``None``.  ``trace`` and ``metrics`` are filled only when the
+    experiment was asked to observe itself (``collect_trace`` /
+    ``collect_metrics``); carrying them on the result keeps observability
+    output flowing through the same cache/pool plumbing as the numbers it
+    explains — which is also what lets the determinism tests compare
+    traces across worker counts.
     """
 
     policy_label: str
@@ -151,10 +159,18 @@ class PerformanceResult:
     governor_conversions: int
     io_failures: int = 0
     faults: FaultSummary | None = None
+    trace: TraceData | None = None
+    metrics: dict | None = None
 
 
 class _PhaseMonitor:
-    """Periodic stabilization check that can be retired between phases."""
+    """Periodic stabilization check that can be retired between phases.
+
+    The monitor's tick doubles as the live-telemetry heartbeat: it is an
+    event the simulation schedules anyway, so progress frames ride along
+    without adding engine work (frames are only built when an emitter is
+    installed — see :mod:`repro.obs.telemetry`).
+    """
 
     def __init__(
         self,
@@ -163,9 +179,14 @@ class _PhaseMonitor:
         interval_ms: float,
         window: int,
         tolerance: float,
+        stage: str = "measure",
+        cap_ms: float | None = None,
     ) -> None:
         self._active = True
         self.fired = False
+        self._stage = stage
+        self._cap_ms = cap_ms
+        self._started = sim.now
         sim.process(self._loop(sim, meter, interval_ms, window, tolerance))
 
     def _loop(self, sim, meter, interval_ms, window, tolerance):
@@ -173,6 +194,15 @@ class _PhaseMonitor:
             yield interval_ms
             if not self._active:
                 return
+            if telemetry_enabled():
+                emit(
+                    progress_frame(
+                        self._stage,
+                        sim.now - self._started,
+                        cap_ms=self._cap_ms,
+                        events=sim.events_executed,
+                    )
+                )
             if meter.stabilized(sim.now, window, tolerance):
                 self.fired = True
                 sim.stop()
@@ -222,11 +252,14 @@ def _measure_phase(
     interval_ms: float,
     window: int,
     tolerance: float,
+    stage: str = "measure",
 ) -> PhaseResult:
     """Attach a fresh meter, run to stabilization or the cap, report."""
     meter = ThroughputMeter(max_bandwidth, interval_ms, start_time=sim.now)
     fs.meter = meter
-    monitor = _PhaseMonitor(sim, meter, interval_ms, window, tolerance)
+    monitor = _PhaseMonitor(
+        sim, meter, interval_ms, window, tolerance, stage=stage, cap_ms=cap_ms
+    )
     started = sim.now
     sim.run(until=started + cap_ms)
     monitor.retire()
@@ -237,6 +270,75 @@ def _measure_phase(
         simulated_ms=sim.now - started,
         bytes_moved=meter.total_bytes,
     )
+
+
+def collect_metrics_snapshot(
+    sim: Simulator,
+    fs: FileSystem,
+    driver: WorkloadDriver,
+    faults: FaultSummary | None = None,
+) -> dict:
+    """Fold the metrics registry and the simulator's existing counters
+    into one JSON-safe snapshot.
+
+    The registry holds only what no pre-existing counter captures
+    (histograms, degraded transitions, per-drive maxima); everything the
+    subsystems already tracked — per-drive tallies, operation counts,
+    allocator request totals, fault-window meters — is merged in here so
+    one dict describes the run.
+    """
+    snapshot = sim.metrics.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    totals = snapshot["totals"]
+    counters["sim.events_executed"] = sim.events_executed
+    counters["fs.bytes_read"] = fs.bytes_read
+    counters["fs.bytes_written"] = fs.bytes_written
+    counters.update(fs.allocator.counters())
+    for op, count in driver.op_counts.as_dict().items():
+        counters[f"workload.ops.{op}"] = count
+    counters["workload.disk_full_events"] = driver.disk_full_events
+    counters["workload.governor_conversions"] = driver.governor_conversions
+    counters["workload.io_failures"] = driver.io_failures
+    for drive in fs.disk.drives:
+        suffix = f".d{drive.index}"
+        counters[f"disk.bytes_moved{suffix}"] = drive.bytes_moved
+        totals[f"disk.busy_ms{suffix}"] = drive.busy_ms
+    if faults is not None:
+        counters["fault.disk_failures"] = faults.disk_failures
+        counters["fault.transient_errors"] = faults.transient_errors
+        counters["fault.rebuilds_completed"] = faults.rebuilds_completed
+        totals["fault.healthy_ms"] = faults.healthy_ms
+        totals["fault.degraded_ms"] = faults.degraded_ms
+        totals["fault.rebuild_bytes"] = faults.rebuild_bytes
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "totals": dict(sorted(totals.items())),
+        "histograms": snapshot["histograms"],
+    }
+
+
+def _attach_observability(sim: Simulator, array) -> None:
+    """Wire an attached tracer/registry into the built disk system."""
+    tracer = sim.tracer
+    if tracer is not None:
+        for drive in array.drives:
+            tracer.name_lane(
+                drive_lane(drive.index),
+                f"drive {drive.index} ({drive.geometry.name})",
+            )
+        tracer.observe_faults()
+    metrics = sim.metrics
+    if metrics is not None:
+        metrics.observe_faults(sim)
+
+        def seek_sink(distance, seek_ms, _observe=metrics.observe):
+            _observe("disk.seek_distance_cyl", distance, SEEK_DISTANCE_EDGES)
+            _observe("disk.seek_ms_dist", seek_ms)
+
+        for drive in array.drives:
+            drive.drive.obs_sink = seek_sink
 
 
 def run_performance_experiment(
@@ -250,6 +352,8 @@ def run_performance_experiment(
     run_application: bool = True,
     run_sequential: bool = True,
     simulator_factory: Callable[[], Simulator] | None = None,
+    collect_trace: bool = False,
+    collect_metrics: bool = False,
 ) -> PerformanceResult:
     """The §3 application and sequential performance tests.
 
@@ -262,9 +366,20 @@ def run_performance_experiment(
     path disabled (the determinism regression tests).  The factory must
     return a fresh :class:`Simulator`; results are identical whichever
     engine variant it builds.
+
+    ``collect_trace`` attaches a span tracer and ships the frozen trace
+    on the result; ``collect_metrics`` attaches a metrics registry and
+    ships its end-of-run snapshot.  Neither changes the simulated event
+    sequence, so the performance numbers are bit-identical with
+    observability on or off.
     """
     sim = Simulator() if simulator_factory is None else simulator_factory()
+    if collect_trace:
+        sim.tracer = Tracer(sim)
+    if collect_metrics:
+        sim.metrics = MetricsRegistry()
     array = config.system.build_array(sim)
+    _attach_observability(sim, array)
     injector = None
     if config.faults is not None and not config.faults.empty:
         injector = FaultInjector(sim, array, config.faults, seed=config.seed)
@@ -275,10 +390,14 @@ def run_performance_experiment(
     fs = FileSystem(sim, array, allocator)
     profile = build_profile(config.workload, config.system, config.fill_fraction)
     driver = WorkloadDriver(sim, fs, profile, seed=config.seed)
+    if telemetry_enabled():
+        emit(progress_frame("populate", sim.now))
     driver.populate()
     target = (driver.lower_bound + driver.upper_bound) / 2.0
     _prefill(fs, driver, profile, target, config.seed)
     driver.start_users()
+    if telemetry_enabled():
+        emit(progress_frame("warmup", sim.now, cap_ms=warmup_ms))
     sim.run(until=sim.now + warmup_ms)
 
     idle = PhaseResult(0.0, False, 0.0, 0.0)
@@ -286,15 +405,18 @@ def run_performance_experiment(
     application = idle
     if run_application:
         application = _measure_phase(
-            sim, fs, max_bandwidth, app_cap_ms, interval_ms, window, tolerance
+            sim, fs, max_bandwidth, app_cap_ms, interval_ms, window,
+            tolerance, stage="application",
         )
     sequential = idle
     if run_sequential:
         driver.mode = "sequential"
         sequential = _measure_phase(
-            sim, fs, max_bandwidth, seq_cap_ms, interval_ms, window, tolerance
+            sim, fs, max_bandwidth, seq_cap_ms, interval_ms, window,
+            tolerance, stage="sequential",
         )
 
+    fault_summary = injector.summary(up_to_time=sim.now) if injector else None
     return PerformanceResult(
         policy_label=config.policy.label,
         workload=config.workload,
@@ -308,5 +430,11 @@ def run_performance_experiment(
         disk_full_events=driver.disk_full_events,
         governor_conversions=driver.governor_conversions,
         io_failures=driver.io_failures,
-        faults=injector.summary(up_to_time=sim.now) if injector else None,
+        faults=fault_summary,
+        trace=sim.tracer.freeze() if sim.tracer is not None else None,
+        metrics=(
+            collect_metrics_snapshot(sim, fs, driver, fault_summary)
+            if sim.metrics is not None
+            else None
+        ),
     )

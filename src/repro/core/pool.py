@@ -49,17 +49,28 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - child process
     Runs in a spawned child.  ``None`` is the shutdown sentinel.  The
     callable is received once per task so the parent can ship arbitrary
     work functions without global registration.
+
+    While a task runs, a telemetry emitter is installed that streams
+    ``("progress", frame)`` messages over the same pipe; the supervisor
+    routes them to its telemetry callback.  Emitter exceptions are not
+    swallowed: a worker whose parent is gone should die, and the
+    supervisor's crash handling takes over from there.
     """
+    from ..obs.telemetry import install_emitter, uninstall_emitter
+
     try:
         while True:
             item = conn.recv()
             if item is None:
                 return
             work_fn, payload = item
+            install_emitter(lambda frame: conn.send(("progress", frame)))
             try:
                 conn.send(("done", work_fn(payload)))
             except Exception:  # noqa: BLE001 - structured failure channel
                 conn.send(("raised", traceback.format_exc()))
+            finally:
+                uninstall_emitter()
     except (EOFError, KeyboardInterrupt):
         return
 
@@ -106,6 +117,8 @@ class SupervisedPool:
         retries: extra attempts granted after a crash or timeout.
         backoff_base_s: first retry delay; doubles per attempt.
         jitter_seed: seeds the deterministic backoff jitter.
+        telemetry: optional ``(task index, frame)`` callback for the
+            progress frames workers stream alongside their results.
     """
 
     def __init__(
@@ -116,6 +129,7 @@ class SupervisedPool:
         retries: int = 0,
         backoff_base_s: float = 0.5,
         jitter_seed: int = 0,
+        telemetry: Callable[[int, dict], None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(f"need at least one worker: {n_workers}")
@@ -129,6 +143,7 @@ class SupervisedPool:
         self.retries = retries
         self.backoff_base_s = backoff_base_s
         self.jitter_seed = jitter_seed
+        self.telemetry = telemetry
         self.stats = PoolStats()
         self._context = get_context("spawn")
         self._workers: dict[Any, tuple[Any, _Assignment | None]] = {}
@@ -232,11 +247,28 @@ class SupervisedPool:
             elapsed = (
                 time.monotonic() - started if started is not None else 0.0
             )
+            finished = None
             try:
-                kind, payload = conn.recv()
+                # Drain progress frames queued ahead of the result; the
+                # assignment stays in flight until a terminal message
+                # ("done"/"raised") arrives, so timeouts and crash
+                # detection still see the task as running.
+                while True:
+                    kind, payload = conn.recv()
+                    if kind == "progress":
+                        if self.telemetry is not None:
+                            self.telemetry(assignment.index, payload)
+                        if not conn.poll():
+                            break
+                    else:
+                        finished = (kind, payload)
+                        break
             except (EOFError, OSError):
                 # Died between finishing and reporting: treat as a crash.
                 continue
+            if finished is None:
+                continue
+            kind, payload = finished
             self._workers[conn] = (process, None)
             if kind == "done":
                 yield assignment.index, assignment.payload, payload

@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from ..errors import ConfigurationError, ExperimentError, SweepInterrupted
+from ..obs.telemetry import install_emitter, uninstall_emitter
 from .checkpoint import SweepCheckpoint
 from .configs import ExperimentConfig
 from .experiments import run_allocation_experiment, run_performance_experiment
@@ -60,7 +61,8 @@ from .pool import SupervisedPool
 #: Bump when result dataclasses or experiment semantics change shape;
 #: old cache entries then miss instead of deserializing stale science.
 #: 2: checksummed cache entries; PerformanceResult gained fault fields.
-CACHE_FORMAT_VERSION = 2
+#: 3: PerformanceResult gained trace/metrics fields (repro.obs).
+CACHE_FORMAT_VERSION = 3
 
 #: Test kinds and the §3 procedures they dispatch to.
 _EXPERIMENT_KINDS: dict[str, Callable[..., Any]] = {
@@ -184,6 +186,9 @@ class ResultCache:
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -195,6 +200,7 @@ class ResultCache:
             with open(path, "rb") as handle:
                 blob = handle.read()
         except OSError:
+            self.misses += 1
             return None
         try:
             magic, digest, payload = (
@@ -206,19 +212,30 @@ class ResultCache:
                 raise ValueError("bad cache magic")
             if hashlib.sha256(payload).hexdigest().encode() != digest:
                 raise ValueError("cache checksum mismatch")
-            return pickle.loads(payload)
+            result = pickle.loads(payload)
         except Exception:
             # A corrupt or truncated entry is a miss, never an error —
             # pickle raises far more than PickleError on garbage bytes
             # (ValueError, KeyError, UnicodeDecodeError, ImportError...).
             # Evict it so the recompute's store replaces it for good.
             self._evict(path)
+            self.misses += 1
             return None
+        self.hits += 1
+        return result
 
-    @staticmethod
-    def _evict(path: Path) -> None:
+    def _evict(self, path: Path) -> None:
+        self.evictions += 1
         with contextlib.suppress(OSError):
             path.unlink()
+
+    def stats_line(self) -> str:
+        """``hits/misses/evictions`` summary for end-of-sweep logs."""
+        return (
+            f"cache: {self.hits} hit{'s' if self.hits != 1 else ''}, "
+            f"{self.misses} miss{'es' if self.misses != 1 else ''}, "
+            f"{self.evictions} evicted"
+        )
 
     def store(self, key: str, result: Any) -> None:
         """Persist ``result`` under ``key`` (atomic rename, last wins)."""
@@ -322,6 +339,11 @@ class ExperimentRunner:
             point is flushed there so an interrupted sweep can resume.
         resume: replay completed points from ``checkpoint_dir`` instead
             of re-running them.
+        telemetry: optional live-progress callback ``(task index,
+            frame)``; frames come from running experiments (see
+            :mod:`repro.obs.telemetry`), streamed over the supervision
+            pipes for pool workers and delivered directly for inline
+            execution.
     """
 
     def __init__(
@@ -335,6 +357,7 @@ class ExperimentRunner:
         backoff_base_s: float = 0.5,
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
+        telemetry: Callable[[int, dict], None] | None = None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ConfigurationError(f"jobs must be >= 0: {jobs}")
@@ -356,6 +379,7 @@ class ExperimentRunner:
             SweepCheckpoint(checkpoint_dir) if checkpoint_dir else None
         )
         self.resume = resume
+        self.telemetry = telemetry
         self.stats = RunnerStats()
 
     # -- execution ---------------------------------------------------------
@@ -411,10 +435,11 @@ class ExperimentRunner:
                 timeout_s=self.timeout_s,
                 retries=self.retries,
                 backoff_base_s=self.backoff_base_s,
+                telemetry=self.telemetry,
             )
             finished = pool.run(pending)
         else:
-            finished = ((index, task, _worker(task)) for index, task in pending)
+            finished = self._run_inline(pending)
 
         try:
             for index, task, (status, payload, elapsed) in finished:
@@ -470,6 +495,24 @@ class ExperimentRunner:
         return [o.result for o in outcomes]
 
     # -- internals ---------------------------------------------------------
+
+    def _run_inline(self, pending):
+        """Execute pending tasks in this process, one at a time.
+
+        When a telemetry callback is wired, each task runs with an
+        emitter installed that forwards its frames (tagged with the
+        task's index) straight to the callback — the inline counterpart
+        of the pool workers' pipe-backed emitter.
+        """
+        for index, task in pending:
+            if self.telemetry is None:
+                yield index, task, _worker(task)
+                continue
+            install_emitter(lambda frame, _i=index: self.telemetry(_i, frame))
+            try:
+                yield index, task, _worker(task)
+            finally:
+                uninstall_emitter()
 
     def _report(self, outcome: PointOutcome, completed: int, total: int) -> None:
         if self.progress is not None:

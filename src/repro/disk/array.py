@@ -172,8 +172,10 @@ class StripedArray(DiskSystem):
         self.stripe_unit_bytes = stripe_unit_bytes
         self._per_drive_bytes = per_drive
         self.drives = [
-            QueuedDrive(sim, geometry, owner=self, discipline=queue_discipline)
-            for _ in range(n_disks)
+            QueuedDrive(
+                sim, geometry, owner=self, discipline=queue_discipline, index=i
+            )
+            for i in range(n_disks)
         ]
 
     @property
@@ -250,7 +252,10 @@ class ConcatArray(DiskSystem):
         self.geometry = geometry
         self.n_disks = n_disks
         self._per_drive_bytes = per_drive
-        self.drives = [QueuedDrive(sim, geometry, owner=self) for _ in range(n_disks)]
+        self.drives = [
+            QueuedDrive(sim, geometry, owner=self, index=i)
+            for i in range(n_disks)
+        ]
 
     @property
     def capacity_bytes(self) -> int:

@@ -39,6 +39,12 @@ class DiskDrive:
     def __init__(self, geometry: DiskGeometry) -> None:
         self.geometry = geometry
         self.head_cylinder = 0
+        #: Optional observability sink called as ``obs_sink(cylinders,
+        #: seek_ms)`` once per serviced request.  ``None`` (the default)
+        #: keeps :meth:`service` on its unobserved fast path — only the
+        #: drive knows the head position, so seek-distance distributions
+        #: must be tapped here rather than in the queue layer.
+        self.obs_sink = None
         # Cylinder skew, as a fraction of a revolution.
         self._cylinder_skew = (
             geometry.seek_time(1) / geometry.rotation_ms
@@ -135,11 +141,15 @@ class DiskDrive:
             )
         cylinder_bytes = self._cylinder_bytes
         target_cylinder = start_byte // cylinder_bytes
-        seek = self._seek_table[
+        distance = (
             target_cylinder - self.head_cylinder
             if target_cylinder >= self.head_cylinder
             else self.head_cylinder - target_cylinder
-        ]
+        )
+        seek = self._seek_table[distance]
+        obs = self.obs_sink
+        if obs is not None:
+            obs(distance, seek)
         arrival = start_time + seek
         target_angle = self.start_angle(start_byte)
         rotation_fraction = (

@@ -6,6 +6,17 @@ touches scheduling), so requests are served first-come first-served — the
 submission returns a :class:`~repro.sim.engine.Waitable` that succeeds with
 the request's :class:`~repro.disk.request.ServiceBreakdown` when the
 transfer completes.
+
+Observability: when the owning simulator carries a tracer, each request
+becomes a span tree on the drive's trace lane — ``disk.read``/``disk.write``
+(submit to completion) with a ``disk.queue`` child (submit to service
+start) and a ``disk.service`` child (service start to completion, with the
+seek/rotation/transfer breakdown in its args).  When it carries a metrics
+registry, queue-wait and service latencies land in fixed-bucket histograms
+and the seek/rotation/transfer split accumulates in float totals.  Both
+are guarded by ``is not None`` checks, record at times the queue already
+computes, and schedule nothing — the served event sequence is identical
+with or without them.
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ class QueuedDrive:
             result) or ``"elevator"`` (SCAN: serve the nearest request in
             the current sweep direction — an extension for studying
             scheduling sensitivity).
+        index: this drive's position in the owning organization; names
+            the drive's trace lane and metrics.
     """
 
     def __init__(
@@ -42,16 +55,18 @@ class QueuedDrive:
         geometry: DiskGeometry,
         owner: object | None = None,
         discipline: str = "fcfs",
+        index: int = 0,
     ) -> None:
         if discipline not in ("fcfs", "elevator"):
             raise SimulationError(f"unknown queue discipline {discipline!r}")
         self.sim = sim
         self.owner = owner
         self.discipline = discipline
+        self.index = index
         self._use_elevator = discipline == "elevator"
         self.drive = DiskDrive(geometry)
         self._direction = 1  # elevator sweep direction
-        self._queue: deque[tuple[DiskRequest, Waitable, float]] = deque()
+        self._queue: deque[tuple[DiskRequest, Waitable, float, tuple | None]] = deque()
         self._busy = False
         self.busy_ms = 0.0
         self.bytes_moved = 0
@@ -94,7 +109,25 @@ class QueuedDrive:
                 f"drive capacity {self.drive.geometry.capacity_bytes}"
             )
         completion = Waitable()
-        self._queue.append((request, completion, self.sim.now))
+        spans = None
+        tracer = self.sim.tracer
+        if tracer is not None:
+            lane = 10 + self.index  # obs.tracer.drive_lane, inlined
+            rspan = tracer.begin(
+                f"disk.{request.kind.value}",
+                "disk",
+                tracer.context,
+                lane,
+                {"start": request.start_byte, "bytes": request.n_bytes},
+            )
+            qspan = tracer.begin("disk.queue", "disk", rspan.span_id, lane)
+            spans = (rspan, qspan)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.gauge_max(
+                f"disk.queue_depth_max.d{self.index}", len(self._queue) + 1
+            )
+        self._queue.append((request, completion, self.sim.now, spans))
         if not self._busy:
             self._start_next(self.sim)
         return completion
@@ -107,22 +140,40 @@ class QueuedDrive:
             return
         self._busy = True
         if self._use_elevator and len(self._queue) > 1:
-            request, completion, submitted_at = self._pop_elevator()
+            request, completion, submitted_at, spans = self._pop_elevator()
         else:
-            request, completion, submitted_at = self._queue.popleft()
+            request, completion, submitted_at, spans = self._queue.popleft()
         now = sim.now
-        self.queue_wait.add(now - submitted_at)
+        wait_ms = now - submitted_at
+        self.queue_wait.add(wait_ms)
         breakdown = self.drive.service(request, now)
         faults = self.fault_state
+        retried = False
         if faults is not None:
-            breakdown = self._apply_faults(faults, request, now, breakdown)
+            breakdown, retried = self._apply_faults(
+                faults, request, now, breakdown
+            )
         total_ms = breakdown.total_ms
         self.busy_ms += total_ms
         self.bytes_moved += request.n_bytes
         self.requests_served += 1
         self.latency.add(total_ms)
+        rspan = None
+        if spans is not None:
+            rspan, qspan = spans
+            self.sim.tracer.end(qspan)
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.observe("disk.queue_wait_ms", wait_ms)
+            metrics.add("disk.seek_ms", breakdown.seek_ms)
+            metrics.add("disk.rotation_ms", breakdown.rotation_ms)
+            metrics.add("disk.transfer_ms", breakdown.transfer_ms)
+            metrics.incr(f"disk.requests.d{self.index}")
+            if retried:
+                metrics.incr("disk.transient_retries")
         sim.schedule(
-            total_ms, self._complete, completion, breakdown, request.n_bytes
+            total_ms, self._complete, completion, breakdown, request.n_bytes,
+            rspan,
         )
 
     def _apply_faults(
@@ -131,24 +182,27 @@ class QueuedDrive:
         request: DiskRequest,
         now: float,
         breakdown: ServiceBreakdown,
-    ) -> ServiceBreakdown:
+    ) -> tuple[ServiceBreakdown, bool]:
         """Fault-adjusted service time: soft-error retries, slow spindles.
 
         Whole-disk failures are routed *around* this drive by the owning
         organization (degraded reads), so they never reach here; what
         does reach here is served — including rebuild traffic directed at
-        a replacement drive.
+        a replacement drive.  Returns the adjusted breakdown plus whether
+        a transient retry occurred (for the metrics layer).
         """
+        retried = False
         if (
             faults.has_transients
             and request.kind is IoKind.READ
             and faults.sample_transient(now)
         ):
             breakdown = self.drive.retry_service(breakdown)
+            retried = True
         factor = faults.slow_factor
         if factor != 1.0:
             breakdown = breakdown.scaled(factor)
-        return breakdown
+        return breakdown, retried
 
     def _complete(
         self,
@@ -156,14 +210,34 @@ class QueuedDrive:
         completion: Waitable,
         breakdown: ServiceBreakdown,
         n_bytes: int,
+        rspan=None,
     ) -> None:
         meter = getattr(self.owner, "meter", None)
         if meter is not None:
             meter.record_span(sim.now - breakdown.total_ms, sim.now, n_bytes)
+        if rspan is not None:
+            tracer = sim.tracer
+            tracer.complete(
+                "disk.service",
+                "disk",
+                rspan.span_id,
+                rspan.tid,
+                sim.now - breakdown.total_ms,
+                sim.now,
+                {
+                    "seek_ms": breakdown.seek_ms,
+                    "rotation_ms": breakdown.rotation_ms,
+                    "transfer_ms": breakdown.transfer_ms,
+                },
+            )
+            tracer.end(rspan)
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.observe("disk.service_ms", breakdown.total_ms)
         completion.succeed(sim, breakdown)
         self._start_next(sim)
 
-    def _pop_elevator(self) -> tuple[DiskRequest, Waitable, float]:
+    def _pop_elevator(self) -> tuple[DiskRequest, Waitable, float, tuple | None]:
         """SCAN: nearest request ahead in the sweep direction, else reverse."""
         head = self.drive.head_cylinder
 

@@ -53,6 +53,10 @@ class MirroredArray(DiskSystem):
         self.primary = StripedArray(sim, geometry, n_disks, stripe_unit_bytes, disk_unit_bytes)
         self.secondary = StripedArray(sim, geometry, n_disks, stripe_unit_bytes, disk_unit_bytes)
         self.drives = self.primary.drives + self.secondary.drives
+        # Renumber the flat list so every drive gets a distinct trace
+        # lane (each StripedArray numbered its own drives from zero).
+        for i, drive in enumerate(self.drives):
+            drive.index = i
         self._read_toggle = 0
 
     @property
@@ -144,6 +148,9 @@ class MirroredArray(DiskSystem):
         if not self._side_can_serve(side, start_unit, n_units):
             # Degraded read: fall over to the surviving copy.
             side = other
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.incr("disk.failover_reads")
             if not self._side_can_serve(side, start_unit, n_units):
                 raise DataUnavailableError(
                     "both mirror copies have offline drives in the read "
@@ -208,7 +215,10 @@ class Raid5Array(DiskSystem):
         self._rows = per_drive // stripe_unit_bytes
         from .queue import QueuedDrive  # local import avoids a cycle at module load
 
-        self.drives = [QueuedDrive(sim, geometry, owner=self) for _ in range(n_disks)]
+        self.drives = [
+            QueuedDrive(sim, geometry, owner=self, index=i)
+            for i in range(n_disks)
+        ]
 
     @property
     def capacity_bytes(self) -> int:
@@ -308,6 +318,9 @@ class Raid5Array(DiskSystem):
                     # Degraded read: the chunk is the XOR of the same span
                     # on every surviving drive of the row (data + parity),
                     # so reconstruction costs N-1 reads in parallel.
+                    metrics = self.sim.metrics
+                    if metrics is not None:
+                        metrics.incr("disk.reconstructed_reads")
                     for other in self._others_in_row(drive):
                         plan.append(
                             (other, DiskRequest(IoKind.READ, request_start, chunk))

@@ -136,13 +136,19 @@ class FaultSummary:
         )
 
     @property
-    def degraded_percent_of_healthy(self) -> float:
+    def degraded_percent_of_healthy(self) -> float | None:
         """Degraded throughput as % of healthy throughput (the meter the
-        mirrored/RAID-5 organizations exist to keep high)."""
-        healthy = self.healthy_throughput
-        if healthy <= 0:
-            return 0.0
-        return 100.0 * self.degraded_throughput / healthy
+        mirrored/RAID-5 organizations exist to keep high).
+
+        ``None`` when there is no healthy baseline to compare against —
+        a run that spent its whole window degraded, or one that moved no
+        bytes while healthy.  Returning 0.0 there (as this once did)
+        read as "degraded mode moved nothing", which is a different and
+        usually false claim; reports render the ``None`` as ``n/a``.
+        """
+        if self.healthy_ms <= 0 or self.healthy_bytes <= 0:
+            return None
+        return 100.0 * self.degraded_throughput / self.healthy_throughput
 
 
 class FaultInjector:

@@ -26,6 +26,7 @@ from ..alloc.metrics import FragmentationReport, measure_fragmentation
 from ..disk.array import DiskSystem
 from ..disk.request import IoKind
 from ..errors import DiskFullError, FileSystemError
+from ..obs.tracer import TID_FS
 from ..sim.engine import AllOf, Simulator
 from ..sim.meters import ThroughputMeter
 from ..units import ceil_div
@@ -212,8 +213,24 @@ class FileSystem:
         end = min(offset_bytes + n_bytes, fs_file.length_bytes)
         if end <= offset_bytes:
             return 0
-        runs = self._byte_range_runs(fs_file, offset_bytes, end - offset_bytes)
-        yield from self._transfer(IoKind.READ, runs)
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "fs.read",
+                "fs",
+                tracer.context,
+                TID_FS,
+                {"file": fs_file.fs_id, "bytes": end - offset_bytes},
+            )
+            tracer.context = span.span_id
+        try:
+            runs = self._byte_range_runs(fs_file, offset_bytes, end - offset_bytes)
+            yield from self._transfer(IoKind.READ, runs)
+        finally:
+            if span is not None:
+                tracer.end(span)
+                tracer.context = span.parent_id
         actual = end - offset_bytes
         self.bytes_read += actual
         return actual
@@ -229,16 +246,36 @@ class FileSystem:
         if offset_bytes > fs_file.length_bytes:
             offset_bytes = fs_file.length_bytes  # no holes: append instead
         end = offset_bytes + n_bytes
-        if end > fs_file.length_bytes:
-            self._grow_to(fs_file, end)
-        runs = self._byte_range_runs(fs_file, offset_bytes, n_bytes)
-        if self.write_behind:
-            # Queue the disk work and return immediately; the drives
-            # drain it in the background (and the meter still sees it).
-            for start, length in runs:
-                self.disk.transfer(IoKind.WRITE, start, length)
-        else:
-            yield from self._transfer(IoKind.WRITE, runs)
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "fs.write",
+                "fs",
+                tracer.context,
+                TID_FS,
+                {"file": fs_file.fs_id, "bytes": n_bytes},
+            )
+            tracer.context = span.span_id
+        try:
+            if end > fs_file.length_bytes:
+                self._grow_to(fs_file, end)
+            runs = self._byte_range_runs(fs_file, offset_bytes, n_bytes)
+            if self.write_behind:
+                # Queue the disk work and return immediately; the drives
+                # drain it in the background (and the meter still sees it).
+                # The deferred requests outlive this call, so they trace
+                # as roots rather than children of a span that has ended.
+                if span is not None:
+                    tracer.context = 0
+                for start, length in runs:
+                    self.disk.transfer(IoKind.WRITE, start, length)
+            else:
+                yield from self._transfer(IoKind.WRITE, runs)
+        finally:
+            if span is not None:
+                tracer.end(span)
+                tracer.context = span.parent_id
         self.bytes_written += n_bytes
         return n_bytes
 
@@ -290,9 +327,23 @@ class FileSystem:
 
     def _grow_to(self, fs_file: FsFile, new_length_bytes: int) -> None:
         needed_units = ceil_div(new_length_bytes, self.unit_bytes)
+        tracer = self.sim.tracer
         while fs_file.extmap.total_units < needed_units:
             missing = needed_units - fs_file.extmap.total_units
             added = self.allocator.extend(fs_file.handle, missing)
+            if tracer is not None:
+                # Allocation is instantaneous in the model, so the span
+                # is zero-duration — it marks where in the request the
+                # allocator ran and how much was asked of it.
+                tracer.complete(
+                    "alloc.extend",
+                    "alloc",
+                    tracer.context,
+                    TID_FS,
+                    self.sim.now,
+                    self.sim.now,
+                    {"units": missing},
+                )
             self._sync_after_extend(fs_file, added)
         fs_file.length_bytes = new_length_bytes
 
@@ -334,5 +385,11 @@ class FileSystem:
         ]
         if not waitables:
             return None
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # The generator suspends below; the ambient span context is
+            # only valid within a single synchronous descent, so reset it
+            # before unrelated callbacks run (see repro.obs.tracer).
+            tracer.context = 0
         yield AllOf(waitables)
         return None

@@ -1,0 +1,134 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+Both formats render a frozen :class:`~repro.obs.tracer.TraceData`.  The
+Chrome format loads directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: spans become complete ("X") events with
+microsecond timestamps, lanes become named threads, and fault flips
+become instant ("i") events.  JSONL emits one self-describing object per
+line — greppable, streamable, and trivially diffable.
+
+Determinism: events are emitted in span-creation order with
+``sort_keys`` JSON and fixed separators, and every timestamp is a pure
+function of the simulated clock — so a fixed seed yields byte-identical
+output, which the golden-trace tests (and CI's ``tools/check_trace.py``
+step) rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import TraceData
+
+#: Synthetic process id for the single simulated system.
+_PID = 1
+
+
+def _span_events(trace: TraceData) -> list[dict]:
+    events: list[dict] = []
+    for tid, name in sorted(trace.lanes.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for span_id, parent_id, name, cat, tid, start_ms, end_ms, args in trace.spans:
+        merged = {"id": span_id, "parent": parent_id}
+        if args:
+            merged.update(args)
+        events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": cat,
+                "pid": _PID,
+                "tid": tid,
+                "ts": start_ms * 1000.0,
+                "dur": (end_ms - start_ms) * 1000.0,
+                "args": merged,
+            }
+        )
+    for name, cat, tid, time_ms, args in trace.instants:
+        events.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "pid": _PID,
+                "tid": tid,
+                "ts": time_ms * 1000.0,
+                "s": "g",
+                "args": args or {},
+            }
+        )
+    return events
+
+
+def trace_to_chrome(trace: TraceData) -> str:
+    """Render as a Chrome ``trace_event`` JSON document (one object with
+    a ``traceEvents`` array, the format Perfetto auto-detects)."""
+    document = {
+        "traceEvents": _span_events(trace),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "frozen_at_ms": trace.frozen_at_ms,
+            "span_count": trace.span_count,
+        },
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def trace_to_jsonl(trace: TraceData) -> str:
+    """Render as JSON Lines: one ``span`` / ``instant`` object per line,
+    preceded by a ``meta`` header line."""
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "frozen_at_ms": trace.frozen_at_ms,
+                "span_count": trace.span_count,
+                "lanes": {str(k): v for k, v in sorted(trace.lanes.items())},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for span_id, parent_id, name, cat, tid, start_ms, end_ms, args in trace.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "id": span_id,
+                    "parent": parent_id,
+                    "name": name,
+                    "cat": cat,
+                    "tid": tid,
+                    "start_ms": start_ms,
+                    "end_ms": end_ms,
+                    "args": args or {},
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    for name, cat, tid, time_ms, args in trace.instants:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "instant",
+                    "name": name,
+                    "cat": cat,
+                    "tid": tid,
+                    "time_ms": time_ms,
+                    "args": args or {},
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return "\n".join(lines) + "\n"

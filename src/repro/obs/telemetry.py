@@ -1,0 +1,177 @@
+"""Live sweep telemetry: progress frames from running experiments.
+
+A *frame* is a small plain dict describing where a running experiment
+is — stage name, simulated time, cap, engine event count.  Experiments
+emit frames through a module-level emitter hook:
+
+* :func:`emit` is a no-op unless an emitter is installed, so emitting
+  sites cost one module-global load and a pointer compare when nobody is
+  listening (the same disabled-fast-path discipline as the tracer).
+* Pool workers install an emitter that writes ``("progress", frame)``
+  onto their existing supervision pipe; the supervisor routes frames to
+  the caller's telemetry callback without disturbing the result
+  protocol.
+* The inline (``jobs=1``) runner installs an emitter that calls the
+  callback directly.
+
+Frames piggyback on work the simulation already does — the phase
+monitor's stabilization ticks, the allocation test's churn loop — so
+telemetry schedules no additional simulator events and cannot perturb
+results.  :class:`SweepTelemetry` renders the frames as a throttled
+stderr status line (stdout stays byte-identical with telemetry on or
+off).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TextIO
+
+_emitter: Callable[[dict], None] | None = None
+
+
+def install_emitter(fn: Callable[[dict], None]) -> None:
+    """Route subsequent :func:`emit` calls to ``fn`` (one emitter at a
+    time; installing replaces)."""
+    global _emitter
+    _emitter = fn
+
+
+def uninstall_emitter() -> None:
+    """Disable :func:`emit` again (safe to call when none installed)."""
+    global _emitter
+    _emitter = None
+
+
+def telemetry_enabled() -> bool:
+    """True when an emitter is installed (lets hot loops skip building
+    frame dicts entirely)."""
+    return _emitter is not None
+
+
+def emit(frame: dict) -> None:
+    """Deliver ``frame`` to the installed emitter, if any.
+
+    Emitter exceptions (e.g. a supervision pipe whose parent died) are
+    deliberately not caught here: a worker that cannot report is a
+    worker the supervisor should reap.
+    """
+    fn = _emitter
+    if fn is not None:
+        fn(frame)
+
+
+def progress_frame(
+    stage: str,
+    sim_ms: float,
+    cap_ms: float | None = None,
+    events: int | None = None,
+    **extra: Any,
+) -> dict:
+    """Build a standard progress frame (plain dict: picklable, small)."""
+    frame: dict[str, Any] = {"stage": stage, "sim_ms": sim_ms}
+    if cap_ms is not None:
+        frame["cap_ms"] = cap_ms
+    if events is not None:
+        frame["events"] = events
+    frame.update(extra)
+    return frame
+
+
+class SweepTelemetry:
+    """Render per-task progress frames as a live stderr status line.
+
+    Wire :meth:`on_frame` as the runner's telemetry callback and call
+    :meth:`note_point_done` from its progress callback; the ETA combines
+    completed points with the simulated-time fraction of every in-flight
+    point.  Rendering is wall-clock throttled (``min_interval_s``) so a
+    chatty sweep cannot flood the terminal; pass 0 in tests for
+    deterministic line-per-frame output.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream = stream
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._started = clock()
+        self._last_render = -float("inf")
+        self._latest: dict[int, dict] = {}
+        self.completed = 0
+        self.total = 0
+        self.frames_seen = 0
+
+    # -- inputs ------------------------------------------------------------
+
+    def on_frame(self, index: int, frame: dict) -> None:
+        """Telemetry callback: record the latest frame for one task."""
+        self.frames_seen += 1
+        self._latest[index] = frame
+        self._maybe_render()
+
+    def note_point_done(
+        self, completed: int, total: int, index: int | None = None
+    ) -> None:
+        """Progress-callback hook: a sweep point finished."""
+        self.completed = completed
+        self.total = total
+        if index is not None:
+            self._latest.pop(index, None)
+
+    # -- rendering ---------------------------------------------------------
+
+    def _fraction(self, frame: dict) -> float | None:
+        cap = frame.get("cap_ms")
+        if not cap:
+            return None
+        return min(1.0, frame.get("sim_ms", 0.0) / cap)
+
+    def eta_seconds(self) -> float | None:
+        """Wall-clock estimate of time remaining, or ``None`` early on."""
+        if not self.total:
+            return None
+        progress = float(self.completed)
+        for frame in self._latest.values():
+            fraction = self._fraction(frame)
+            if fraction is not None:
+                progress += fraction
+        progress = min(progress, float(self.total))
+        if progress <= 0:
+            return None
+        elapsed = self._clock() - self._started
+        if elapsed <= 0:
+            return None
+        return elapsed * (self.total - progress) / progress
+
+    def render_line(self) -> str:
+        """The current status line (exposed for tests)."""
+        parts = []
+        if self.total:
+            parts.append(f"{self.completed}/{self.total} done")
+            eta = self.eta_seconds()
+            if eta is not None:
+                parts.append(f"eta ~{eta:.0f}s")
+        for index in sorted(self._latest):
+            frame = self._latest[index]
+            stage = frame.get("stage", "?")
+            piece = f"t{index} {stage}"
+            fraction = self._fraction(frame)
+            if fraction is not None:
+                piece += f" {100.0 * fraction:.0f}%"
+            elif "sim_ms" in frame:
+                piece += f" {frame['sim_ms'] / 1000.0:.1f}s sim"
+            if "operations" in frame:
+                piece += f" {frame['operations']:,d} ops"
+            parts.append(piece)
+        return "telemetry: " + " | ".join(parts) if parts else "telemetry: idle"
+
+    def _maybe_render(self) -> None:
+        now = self._clock()
+        if now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        print(self.render_line(), file=self.stream)

@@ -46,8 +46,14 @@ def render_fault_summary(summary: FaultSummary) -> str:
             f"{summary.degraded_throughput * 1000 / 2**20:.2f}",
         ]
     )
+    percent = summary.degraded_percent_of_healthy
     footer = [
-        f"degraded throughput : {summary.degraded_percent_of_healthy:.1f}% of healthy",
+        "degraded throughput : "
+        + (
+            f"{percent:.1f}% of healthy"
+            if percent is not None
+            else "n/a (no healthy window)"
+        ),
         f"disk failures       : {summary.disk_failures}",
         f"rebuilds completed  : {summary.rebuilds_completed}",
         f"rebuild data (MiB)  : {summary.rebuild_bytes / 2**20:.1f}",
@@ -55,6 +61,46 @@ def render_fault_summary(summary: FaultSummary) -> str:
         f"slowdown windows    : {summary.slowdowns}",
     ]
     return table.render() + "\n\n" + "\n".join(footer)
+
+
+def render_metrics_snapshot(metrics: dict) -> str:
+    """Dossier section for a collected metrics snapshot.
+
+    Scalars (counters, gauges, float totals) share one table; latency
+    histograms get a second with their summary statistics.  Bucket
+    contents stay in the JSON/trace outputs — here they would drown the
+    dossier.
+    """
+    scalars = Table(["Metric", "Value"], title="Metrics")
+    for name, value in metrics.get("counters", {}).items():
+        scalars.add_row([name, value])
+    for name, value in metrics.get("gauges", {}).items():
+        scalars.add_row([name, f"{value:g}"])
+    for name, value in metrics.get("totals", {}).items():
+        scalars.add_row([name, f"{value:.1f}"])
+    sections = [scalars.render()]
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        table = Table(
+            ["Distribution", "Count", "Mean", "Min", "Max"],
+            title="Latency distributions",
+        )
+
+        def cell(value: float | None) -> str:
+            return "n/a" if value is None else f"{value:.2f}"
+
+        for name, hist in histograms.items():
+            table.add_row(
+                [
+                    name,
+                    hist.get("count", 0),
+                    cell(hist.get("mean") if hist.get("count") else None),
+                    cell(hist.get("min")),
+                    cell(hist.get("max")),
+                ]
+            )
+        sections.append(table.render())
+    return "\n\n".join(sections)
 
 
 def render_performance_summary(result: PerformanceResult) -> str:
@@ -100,6 +146,8 @@ def render_performance_summary(result: PerformanceResult) -> str:
     sections = [header.render(), operations.render(), "\n".join(footer)]
     if result.faults is not None:
         sections.append(render_fault_summary(result.faults))
+    if result.metrics is not None:
+        sections.append(render_metrics_snapshot(result.metrics))
     return "\n\n".join(sections)
 
 

@@ -224,6 +224,13 @@ class SimProfile:
         """Wall-clock seconds spent inside event callbacks."""
         return sum(entry[1] for entry in self.data.values())
 
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-safe snapshot: ``{subsystem: {"events": n, "seconds": s}}``."""
+        return {
+            name: {"events": int(n), "seconds": s}
+            for name, (n, s) in sorted(self.data.items())
+        }
+
     def rows(self) -> list[tuple[str, int, float]]:
         """(subsystem, events, seconds) rows, most expensive first."""
         return sorted(
@@ -274,6 +281,14 @@ class Simulator:
             self._push_immediate = self._heap.push
         self._push_timer = self._heap.push
         self.profile: SimProfile | None = None
+        #: Observability attachment points (:mod:`repro.obs`).  ``None``
+        #: (the default) is the disabled fast path: instrumented
+        #: subsystems guard every recording behind an ``is not None``
+        #: check, and the run loop itself never consults either, so a
+        #: simulation without observers executes the exact same event
+        #: sequence at the same speed as one predating the layer.
+        self.tracer = None
+        self.metrics = None
         #: Fault-hook subscribers (see :meth:`on_fault`); empty for every
         #: fault-free simulation, so the hot path never touches them.
         self._fault_hooks: list[Callable[["Simulator", FaultEvent], None]] = []

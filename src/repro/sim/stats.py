@@ -10,6 +10,7 @@ extents-per-file numbers behind Table 4.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -95,6 +96,65 @@ class Counter:
     def as_dict(self) -> dict[str, int]:
         """Snapshot of all counters as a plain dict."""
         return dict(self.counts)
+
+
+class FixedHistogram:
+    """Histogram over a fixed, ascending list of bucket edges.
+
+    Bucket ``i`` counts observations ``v`` with
+    ``edges[i-1] < v <= edges[i]`` (the first bucket is
+    ``v <= edges[0]``); one extra overflow bucket counts everything above
+    ``edges[-1]``.  A :class:`Tally` rides along for count / sum / mean /
+    min / max, so the latency histograms the observability layer exports
+    need no second accumulator.  Unlike :func:`histogram`, the edges are
+    declared up front, so two runs (or two worker processes) produce
+    directly comparable — and mergeable — buckets.
+    """
+
+    __slots__ = ("edges", "counts", "tally")
+
+    def __init__(self, edges: list[float]) -> None:
+        if not edges:
+            raise ValueError("FixedHistogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must be strictly ascending: {edges}")
+        self.edges = list(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.tally = Tally()
+
+    def add(self, value: float) -> None:
+        """Record one observation in its bucket."""
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.tally.add(value)
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self.tally.count
+
+    def merge(self, other: "FixedHistogram") -> None:
+        """Fold another histogram with identical edges into this one."""
+        if other.edges != self.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.tally.merge(other.tally)
+
+    def as_dict(self) -> dict:
+        """A picklable/JSON-safe snapshot (edges, counts, summary stats)."""
+        tally = self.tally
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": tally.count,
+            "sum": tally.total,
+            "mean": tally.mean,
+            "min": tally.minimum if tally.count else None,
+            "max": tally.maximum if tally.count else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FixedHistogram n={self.count} edges={len(self.edges)}>"
 
 
 def histogram(values: list[float], n_bins: int) -> list[tuple[float, float, int]]:

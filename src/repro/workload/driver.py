@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from ..alloc.metrics import FragmentationReport
 from ..errors import DataUnavailableError, DiskFullError, SimulationError
 from ..fs.filesystem import FileSystem, FsFile
+from ..obs.tracer import TID_WORKLOAD
+from ..obs.telemetry import emit, progress_frame, telemetry_enabled
 from ..sim.engine import Simulator
 from ..sim.rng import RandomStream
 from ..sim.stats import Counter, Tally
@@ -135,6 +137,20 @@ class WorkloadDriver:
             self.governor_conversions += 1
 
         started = self.sim.now
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            # Operations are roots of the span tree: user processes run
+            # concurrently, so each operation anchors its own descent
+            # (parent 0) rather than inheriting ambient context.
+            span = tracer.begin(
+                "op." + op.value,
+                "workload",
+                0,
+                TID_WORKLOAD,
+                {"type": file_type.name, "bytes": size},
+            )
+            tracer.context = span.span_id
         try:
             if op is Operation.READ:
                 yield from self._do_read(file_type, fs_file, rng, size)
@@ -155,8 +171,15 @@ class WorkloadDriver:
             # this span (e.g. a failed drive in a plain striped array).
             # The application sees an I/O error; the user retries later.
             self.io_failures += 1
+        finally:
+            if span is not None:
+                tracer.end(span)
+                tracer.context = 0
         self.op_counts.incr(op.value)
         self.op_latency.setdefault(op.value, Tally()).add(self.sim.now - started)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.observe("workload.op_ms." + op.value, self.sim.now - started)
 
     def _do_read(self, file_type, fs_file, rng, size: int):
         if self.mode == "sequential":
@@ -286,6 +309,18 @@ def run_allocation_until_full(
             fs_file = op_rng.choice(population)
             planned = plan_operation(op_rng, file_type, file_type.allocation_weights)
             operations += 1
+            if not operations & 0xFFFF and telemetry_enabled():
+                # Progress for the live sweep display; the modulo guard
+                # keeps the untimed churn loop's cost unchanged when no
+                # emitter is installed.
+                emit(
+                    progress_frame(
+                        "allocation",
+                        0.0,
+                        operations=operations,
+                        utilization=round(fs.utilization, 4),
+                    )
+                )
             try:
                 if planned.op is Operation.EXTEND:
                     fs.allocate_to(

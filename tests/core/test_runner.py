@@ -85,6 +85,34 @@ class TestResultCache:
             assert cache.load(f"bad{i}") is None
 
 
+class TestCacheStats:
+    def test_counters_track_hits_misses_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.load("absent")  # miss
+        cache.store("abc", 1)
+        cache.load("abc")  # hit
+        cache.path("bad").write_bytes(b"corrupt")
+        cache.load("bad")  # miss + eviction
+        assert (cache.hits, cache.misses, cache.evictions) == (1, 2, 1)
+        assert not cache.path("bad").exists()
+
+    def test_stats_line_pluralization(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats_line() == "cache: 0 hits, 0 misses, 0 evicted"
+        cache.store("abc", 1)
+        cache.load("abc")
+        cache.load("absent")
+        assert cache.stats_line() == "cache: 1 hit, 1 miss, 0 evicted"
+
+    def test_runner_counts_cache_traffic(self, tmp_path):
+        task = tiny_task()
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([task])
+        assert (runner.cache.hits, runner.cache.misses) == (0, 1)
+        runner.run([task])
+        assert (runner.cache.hits, runner.cache.misses) == (1, 1)
+
+
 class TestSerialRunner:
     def test_negative_jobs_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,87 @@
+"""Exporter tests: Chrome trace_event and JSONL rendering, determinism."""
+
+import json
+
+from repro.obs.export import trace_to_chrome, trace_to_jsonl
+from repro.obs.tracer import TID_FS, TID_WORKLOAD, TraceData, drive_lane
+
+
+def sample_trace() -> TraceData:
+    return TraceData(
+        spans=[
+            (1, 0, "op.read", "workload", TID_WORKLOAD, 0.0, 12.5, {"bytes": 8192}),
+            (2, 1, "fs.read", "fs", TID_FS, 0.0, 12.5, None),
+            (3, 2, "disk.service", "disk", drive_lane(0), 2.0, 10.0, None),
+        ],
+        instants=[("disk-failure", "fault", drive_lane(1), 5.0, None)],
+        lanes={TID_WORKLOAD: "workload", TID_FS: "filesystem",
+               drive_lane(0): "drive 0", drive_lane(1): "drive 1"},
+        frozen_at_ms=12.5,
+    )
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        doc = json.loads(trace_to_chrome(sample_trace()))
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["span_count"] == 3
+        assert doc["otherData"]["frozen_at_ms"] == 12.5
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert phases.count("M") == 4
+        assert phases.count("X") == 3
+        assert phases.count("i") == 1
+
+    def test_timestamps_are_microseconds(self):
+        doc = json.loads(trace_to_chrome(sample_trace()))
+        service = next(
+            e for e in doc["traceEvents"] if e.get("name") == "disk.service"
+        )
+        assert service["ts"] == 2000.0
+        assert service["dur"] == 8000.0
+
+    def test_span_args_carry_id_and_parent(self):
+        doc = json.loads(trace_to_chrome(sample_trace()))
+        read = next(e for e in doc["traceEvents"] if e.get("name") == "op.read")
+        assert read["args"] == {"id": 1, "parent": 0, "bytes": 8192}
+
+    def test_thread_names_exported_for_every_lane(self):
+        doc = json.loads(trace_to_chrome(sample_trace()))
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[TID_WORKLOAD] == "workload"
+        assert names[drive_lane(0)] == "drive 0"
+
+    def test_rendering_is_byte_deterministic(self):
+        assert trace_to_chrome(sample_trace()) == trace_to_chrome(sample_trace())
+
+    def test_canonical_json_no_spaces(self):
+        text = trace_to_chrome(sample_trace())
+        assert ": " not in text and ", " not in text
+        assert text.endswith("\n")
+
+
+class TestJsonlExport:
+    def test_one_object_per_line_with_meta_header(self):
+        lines = trace_to_jsonl(sample_trace()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "meta"
+        assert records[0]["span_count"] == 3
+        assert [r["type"] for r in records[1:]] == [
+            "span", "span", "span", "instant",
+        ]
+
+    def test_span_lines_carry_full_interval(self):
+        records = [
+            json.loads(line)
+            for line in trace_to_jsonl(sample_trace()).splitlines()
+        ]
+        service = next(r for r in records if r.get("name") == "disk.service")
+        assert service["start_ms"] == 2.0
+        assert service["end_ms"] == 10.0
+        assert service["parent"] == 2
+
+    def test_rendering_is_byte_deterministic(self):
+        assert trace_to_jsonl(sample_trace()) == trace_to_jsonl(sample_trace())

@@ -265,3 +265,98 @@ class TestExitCodes:
         code = main(["alloc", "--scale", "0.03", "--no-cache"])
         assert code == 130
         assert "repro: interrupted" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.format == "chrome"
+        assert args.cap_ms == 8_000.0
+        assert args.organization == "striped"
+        assert not args.metrics and not args.json
+
+    def test_live_flag_available_on_runner_commands(self):
+        assert build_parser().parse_args(["perf", "--live"]).live
+        assert build_parser().parse_args(["trace"]).live is False
+
+    def test_chrome_document_on_stdout(self, capsys):
+        import json
+
+        code = main(
+            ["trace", "--scale", "0.02", "--cap-ms", "1500", "--no-cache"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+        assert document["otherData"]["span_count"] > 0
+
+    def test_jsonl_format(self, capsys):
+        import json
+
+        code = main(
+            [
+                "trace", "--scale", "0.02", "--cap-ms", "1500",
+                "--no-cache", "--format", "jsonl",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert {json.loads(line)["type"] for line in lines[1:]} == {"span"}
+
+    def test_trace_out_writes_file_and_reports_metrics(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "--scale", "0.02", "--cap-ms", "1500",
+                "--no-cache", "--trace-out", str(out), "--metrics",
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["traceEvents"]
+        captured = capsys.readouterr()
+        assert "spans" in captured.err
+        assert "Metrics" in captured.out  # snapshot table, not the trace
+
+    def test_json_summary(self, capsys):
+        import json
+
+        code = main(
+            [
+                "trace", "--scale", "0.02", "--cap-ms", "1500",
+                "--no-cache", "--metrics", "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["span_count"] > 0
+        assert "disk.service_ms" in document["metrics"]["histograms"]
+
+    def test_traces_are_cached_separately_from_plain_runs(self, tmp_path):
+        argv = [
+            "trace", "--scale", "0.02", "--cap-ms", "1500",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cached = list(tmp_path.glob("*.pkl"))
+        assert len(cached) == 1
+        assert main(argv) == 0  # second run replays the cache
+        assert list(tmp_path.glob("*.pkl")) == cached
+
+
+class TestProfileJson:
+    def test_profile_json_document(self, capsys):
+        import json
+
+        code = main(
+            [
+                "profile", "--scale", "0.03", "--cap-ms", "4000", "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["events_executed"] > 0
+        assert "repro.disk.queue" in document["subsystems"]
+        assert "cProfile" not in capsys.readouterr().out

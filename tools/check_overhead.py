@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Assert the disabled-observability engine overhead stays within budget.
+
+The tracer and metrics registry hang off the simulator as plain
+attributes that default to ``None``; every instrumentation site is
+guarded by an ``is not None`` check *outside* the engine's fused run
+loop.  This tool proves the claim: it re-times ``engine_loop`` (tracing
+disabled — the default) and compares events/sec against the committed
+``BENCH_core.json`` record, requiring the fresh rate to stay within
+``--tolerance`` (default 2 %) of the committed one.
+
+Timing noise on shared CI hardware can exceed 2 %, so the check takes
+``--attempts`` independent runs and passes if *any* attempt lands within
+tolerance — a genuine hot-path regression fails every attempt; scheduler
+jitter does not.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_overhead.py --baseline BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Default fractional slowdown allowed vs the committed record.
+DEFAULT_TOLERANCE = 0.02
+
+
+def check_overhead(
+    bench_name: str,
+    committed_value: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    attempts: int = 3,
+    scale: float = 1.0,
+    repeats: int = 3,
+) -> tuple[bool, list[float]]:
+    """Re-run ``bench_name``; return (passed, per-attempt ratios)."""
+    from benchmarks.micro.core import BENCHMARKS
+
+    bench = BENCHMARKS[bench_name]
+    floor = 1.0 - tolerance
+    ratios: list[float] = []
+    for attempt in range(max(1, attempts)):
+        result = bench(scale=scale, repeats=repeats)
+        ratio = result["value"] / committed_value
+        ratios.append(ratio)
+        print(
+            f"attempt {attempt + 1}: {result['value']:,.0f} {result['metric']} "
+            f"= {ratio:.3f}x of committed ({committed_value:,.0f})"
+        )
+        if ratio >= floor:
+            return True, ratios
+    return False, ratios
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("BENCH_core.json"),
+        help="committed benchmark record to compare against",
+    )
+    parser.add_argument(
+        "--bench",
+        default="engine_loop",
+        help="benchmark name from benchmarks.micro (default: engine_loop)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown (default: 0.02)",
+    )
+    parser.add_argument(
+        "--attempts",
+        type=int,
+        default=3,
+        help="independent timing attempts; any one within tolerance passes",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    try:
+        record = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_overhead: cannot load {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    committed = record.get("benchmarks", record).get(args.bench, {}).get("value")
+    if not committed:
+        print(
+            f"check_overhead: no committed value for {args.bench!r} "
+            f"in {args.baseline}",
+            file=sys.stderr,
+        )
+        return 2
+
+    passed, ratios = check_overhead(
+        args.bench,
+        committed,
+        tolerance=args.tolerance,
+        attempts=args.attempts,
+        scale=args.scale,
+        repeats=args.repeats,
+    )
+    if passed:
+        print(
+            f"check_overhead: OK — {args.bench} within "
+            f"{args.tolerance:.0%} of committed rate"
+        )
+        return 0
+    print(
+        f"check_overhead: FAIL — best attempt {max(ratios):.3f}x, "
+        f"needed >= {1.0 - args.tolerance:.3f}x over {len(ratios)} attempt(s)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
