@@ -78,6 +78,13 @@ from .disk import (
     Raid5Array,
     StripedArray,
 )
+from .audit import (
+    AuditConfig,
+    DivergenceReport,
+    Fingerprint,
+    InvariantAuditor,
+    bisect_divergence,
+)
 from .errors import (
     AllocationError,
     ConfigurationError,
@@ -86,6 +93,7 @@ from .errors import (
     ExperimentError,
     FaultError,
     FileSystemError,
+    InvariantViolation,
     ReproError,
     SimulationError,
     SweepInterrupted,
@@ -200,8 +208,15 @@ __all__ = [
     "parse_fault_spec",
     "FaultInjector",
     "FaultSummary",
+    # audit
+    "AuditConfig",
+    "InvariantAuditor",
+    "Fingerprint",
+    "DivergenceReport",
+    "bisect_divergence",
     # errors
     "ReproError",
+    "InvariantViolation",
     "ConfigurationError",
     "SimulationError",
     "AllocationError",

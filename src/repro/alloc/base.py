@@ -220,6 +220,35 @@ class Allocator(abc.ABC):
 
     # -- validation -----------------------------------------------------------
 
+    def check_free_space(self) -> None:
+        """Cross-check the policy's free structures against accounting.
+
+        Subclasses override with their structure-specific conservation
+        check (free + allocated + unaddressable == capacity).  The base
+        implementation accepts anything — a policy without auxiliary
+        free structures has nothing extra to verify.
+        """
+
+    def audit_check(self) -> None:
+        """Run every structural self-check the policy provides.
+
+        The invariant auditor's allocator sweep: overlap detection plus
+        the policy's conservation check.  Raises a
+        :class:`~repro.errors.ReproError` subclass on violation.
+        """
+        self.check_no_overlap()
+        self.check_free_space()
+
+    def snapshot_free_state(self) -> dict:
+        """JSON-safe snapshot of the policy's free structures.
+
+        Fingerprint hook: the rendering must be a pure function of
+        allocator state (primitives only, canonical ordering).
+        Subclasses override; the base form carries only the accounting
+        totals every policy shares.
+        """
+        return {"allocated_units": self._allocated_units}
+
     def check_no_overlap(self) -> None:
         """Assert no two live allocations overlap (test hook, O(n log n))."""
         spans: list[tuple[int, int]] = []

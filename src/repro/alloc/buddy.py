@@ -243,6 +243,17 @@ class BinaryBuddyAllocator(Allocator):
             if len(addresses)
         }
 
+    def snapshot_free_state(self) -> dict:
+        """Free blocks per order, sorted by address (fingerprint hook)."""
+        return {
+            "allocated_units": self._allocated_units,
+            "free_by_order": {
+                str(order): list(addresses)
+                for order, addresses in sorted(self._free_by_order.items())
+                if len(addresses)
+            },
+        }
+
     def check_free_space(self) -> None:
         """Validate accounting: free-list units + allocated == capacity."""
         free = sum(

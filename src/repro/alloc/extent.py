@@ -172,6 +172,13 @@ class ExtentAllocator(Allocator):
         total = sum(handle.extent_count for handle in self.files.values())
         return total / len(self.files)
 
+    def snapshot_free_state(self) -> dict:
+        """Free holes in address order (fingerprint hook)."""
+        return {
+            "allocated_units": self._allocated_units,
+            "holes": [[start, length] for start, length in self._free.intervals()],
+        }
+
     def check_free_space(self) -> None:
         """Validate the hole list and the unit accounting (test hook)."""
         self._free.check_invariants()

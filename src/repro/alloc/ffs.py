@@ -245,6 +245,16 @@ class FfsAllocator(Allocator):
         """Blocks currently shared by fragment tails."""
         return len(self._partial)
 
+    def snapshot_free_state(self) -> dict:
+        """Whole free blocks plus fragment masks (fingerprint hook)."""
+        return {
+            "allocated_units": self._allocated_units,
+            "whole_blocks": list(self._free_blocks),
+            "partial_masks": [
+                [start, mask] for start, mask in sorted(self._partial.items())
+            ],
+        }
+
     def check_free_space(self) -> None:
         """Validate fragment masks and unit accounting (test hook)."""
         free = len(self._free_blocks) * self.block_units

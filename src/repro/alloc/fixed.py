@@ -103,3 +103,24 @@ class FixedBlockAllocator(Allocator):
     def usable_units(self) -> int:
         """Units coverable by whole blocks (capacity minus the tail sliver)."""
         return self._usable_units
+
+    def snapshot_free_state(self) -> dict:
+        """The free list in LIFO order (fingerprint hook).
+
+        Order matters here: the list *is* the allocation order, so two
+        runs in identical logical state must render identical lists.
+        """
+        return {
+            "allocated_units": self._allocated_units,
+            "block_units": self.block_units,
+            "free_blocks": list(self._free_blocks),
+        }
+
+    def check_free_space(self) -> None:
+        """Validate free-list units against the accounting."""
+        free = len(self._free_blocks) * self.block_units
+        if free != self._usable_units - self._allocated_units:
+            raise ConfigurationError(
+                f"fixed free list holds {free} units, accounting says "
+                f"{self._usable_units - self._allocated_units}"
+            )

@@ -291,6 +291,26 @@ class LadderFreeStore:
 
     # -- validation -----------------------------------------------------------
 
+    def snapshot(self) -> dict:
+        """JSON-safe rendering of the free structures (fingerprint hook).
+
+        Pure function of store state: the bitmap renders as the sorted
+        slot numbers still set, each free list as its sorted addresses.
+        """
+        return {
+            "free_units": self._free_units,
+            "max_slots": [
+                slot
+                for slot in range(self._max_slots)
+                if self._bitmap.test(slot)
+            ],
+            "lists": {
+                str(size): self._lists[size].addresses()
+                for size in self.sizes[:-1]
+                if len(self._lists[size])
+            },
+        }
+
     def check_invariants(self) -> None:
         """Verify alignment, accounting, and the coalescing invariant."""
         total = self._bitmap.set_count * self.max_size

@@ -85,6 +85,14 @@ class LogStructuredAllocator(Allocator):
         """Number of free holes threaded by the log."""
         return self._free.fragment_count
 
+    def snapshot_free_state(self) -> dict:
+        """Log head plus free holes in address order (fingerprint hook)."""
+        return {
+            "allocated_units": self._allocated_units,
+            "head": self._head,
+            "holes": [[start, length] for start, length in self._free.intervals()],
+        }
+
     def check_free_space(self) -> None:
         """Validate the hole map against the unit accounting (test hook)."""
         self._free.check_invariants()

@@ -308,6 +308,13 @@ class RestrictedBuddyAllocator(Allocator):
                     contiguous += 1
         return contiguous / transitions if transitions else 1.0
 
+    def snapshot_free_state(self) -> dict:
+        """Ladder-store bitmap and free lists (fingerprint hook)."""
+        return {
+            "allocated_units": self._allocated_units,
+            "store": self.store.snapshot(),
+        }
+
     def check_free_space(self) -> None:
         """Validate store invariants and unit accounting (test hook)."""
         self.store.check_invariants()

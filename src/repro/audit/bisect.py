@@ -1,0 +1,232 @@
+"""Divergence bisection: localize the first event where two runs differ.
+
+Two runs that should be bit-identical (fast vs reference engine, one
+worker vs four, two configs believed equivalent) occasionally are not —
+and the symptom (a different final number) appears millions of events
+after the cause.  This module localizes the cause:
+
+1. **Coarse pass** — replay both runs with fingerprints sampled every
+   ``cadence`` events and compare the timelines; the first differing
+   sample brackets the divergence to one cadence interval.
+2. **Binary search** — while the bracket exceeds ``fine_limit`` events,
+   replay both runs with a single fingerprint at the midpoint, halving
+   the bracket each round (replays are deterministic, so probing is
+   sound).
+3. **Fine pass** — replay the final bracket with a fingerprint (and
+   full state payload) at *every* event; the first differing digest is
+   the first diverging event, reported with both state excerpts.
+
+What this can localize: any divergence that manifests in the
+fingerprinted state (event queue, RNG streams, allocator free
+structures, extent maps, drive queues).  What it cannot: state outside
+the fingerprint (e.g. a float accumulated only into a report), and
+divergences *caused* earlier than they first touch fingerprinted state —
+the report pinpoints the first observable difference, which is where
+debugging starts, not necessarily where the root cause lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..errors import ReproError
+from .fingerprint import Fingerprint, canonical_digest
+from .invariants import AuditConfig, InvariantAuditor
+
+__all__ = ["DivergenceReport", "bisect_divergence", "compare_timelines"]
+
+#: Replay callback: given an audit configuration, run one variant to
+#: completion and return its auditor (fingerprints populated).
+Replay = Callable[[AuditConfig], InvariantAuditor]
+
+#: Bracket size below which one every-event pass beats more probing.
+DEFAULT_FINE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Where two replayed runs first disagree, if anywhere.
+
+    Attributes:
+        diverged: whether any fingerprint differed.
+        first_event: executed-event index of the first diverging
+            fingerprint (``None`` when the runs agree).
+        bracket: the final ``(lo, hi]`` event interval searched.
+        time_a / time_b: simulated time of the diverging sample in each
+            run (``None`` when the runs agree).
+        digest_a / digest_b: the differing digests.
+        differing_sections: top-level state sections whose canonical
+            renderings differ at the diverging event.
+        state_a / state_b: full state payloads at the diverging event.
+        probes: replays performed per run (coarse + bisection + fine).
+    """
+
+    diverged: bool
+    first_event: int | None = None
+    bracket: tuple[int, int] | None = None
+    time_a: float | None = None
+    time_b: float | None = None
+    digest_a: str | None = None
+    digest_b: str | None = None
+    differing_sections: tuple[str, ...] = ()
+    state_a: dict | None = field(default=None, repr=False)
+    state_b: dict | None = field(default=None, repr=False)
+    probes: int = 0
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI."""
+        if not self.diverged:
+            return (
+                f"no divergence: fingerprint timelines identical "
+                f"({self.probes} replay(s) per run)"
+            )
+        def fmt(value: float | None) -> str:
+            return f"{value:g} ms" if value is not None else "n/a (run ended)"
+
+        lines = [
+            f"first diverging event: #{self.first_event}",
+            f"  sim time: run A {fmt(self.time_a)}, run B {fmt(self.time_b)}",
+            f"  digest A: {self.digest_a}",
+            f"  digest B: {self.digest_b}",
+            f"  differing state: {', '.join(self.differing_sections) or '?'}",
+            f"  bracket searched: ({self.bracket[0]}, {self.bracket[1]}]",
+            f"  replays per run: {self.probes}",
+        ]
+        for label, state in (("A", self.state_a), ("B", self.state_b)):
+            if state is None:
+                continue
+            for section in self.differing_sections:
+                lines.append(f"  state {label}.{section}: {state.get(section)!r}")
+        return "\n".join(lines)
+
+
+def compare_timelines(
+    a: Sequence[Fingerprint], b: Sequence[Fingerprint]
+) -> int | None:
+    """Position of the first differing sample, or ``None`` if identical.
+
+    Samples differ when any of (event index, sim time, digest) differ;
+    timelines of different lengths differ at the first missing sample.
+    """
+    for position, (sample_a, sample_b) in enumerate(zip(a, b)):
+        if (
+            sample_a.index != sample_b.index
+            or sample_a.time_ms != sample_b.time_ms
+            or sample_a.digest != sample_b.digest
+        ):
+            return position
+    if len(a) != len(b):
+        return min(len(a), len(b))
+    return None
+
+
+def _sections_differing(state_a: dict, state_b: dict) -> tuple[str, ...]:
+    keys = sorted(set(state_a) | set(state_b))
+    return tuple(
+        key
+        for key in keys
+        if canonical_digest(state_a.get(key)) != canonical_digest(state_b.get(key))
+    )
+
+
+def _probe(replay_a: Replay, replay_b: Replay, index: int) -> bool:
+    """True when the two runs' states agree after executing event ``index``."""
+    config = AuditConfig(
+        invariants=False, fingerprints=True, cadence_events=1,
+        start_event=index, end_event=index,
+    )
+    sample_a = replay_a(config).fingerprints
+    sample_b = replay_b(config).fingerprints
+    if not sample_a or not sample_b:
+        # One run ended before the probe point; treat as diverged there.
+        return False
+    return sample_a[0].digest == sample_b[0].digest
+
+
+def bisect_divergence(
+    replay_a: Replay,
+    replay_b: Replay,
+    cadence: int = 50_000,
+    fine_limit: int = DEFAULT_FINE_LIMIT,
+) -> DivergenceReport:
+    """Localize the first diverging event between two replayable runs.
+
+    ``replay_a``/``replay_b`` must be *deterministic*: calling either
+    with the same :class:`AuditConfig` must reproduce the same run.
+    """
+    if cadence < 1:
+        raise ReproError(f"bisect cadence must be >= 1: {cadence}")
+    probes = 1
+    coarse = AuditConfig(
+        invariants=False, fingerprints=True, cadence_events=cadence
+    )
+    timeline_a = replay_a(coarse).fingerprints
+    timeline_b = replay_b(coarse).fingerprints
+    position = compare_timelines(timeline_a, timeline_b)
+    if position is None:
+        return DivergenceReport(diverged=False, probes=probes)
+
+    # The sample at `position` differs; the one before it (if any) agrees,
+    # so the first diverging event lies in (lo, hi].
+    lo = timeline_a[position - 1].index if position > 0 else 0
+    shorter = min(len(timeline_a), len(timeline_b))
+    if position < shorter:
+        hi = max(timeline_a[position].index, timeline_b[position].index)
+    else:
+        # One run simply executed further; bound by its next sample.
+        longer = timeline_a if len(timeline_a) > len(timeline_b) else timeline_b
+        hi = longer[position].index
+
+    while hi - lo > fine_limit:
+        mid = (lo + hi) // 2
+        probes += 1
+        if _probe(replay_a, replay_b, mid):
+            lo = mid
+        else:
+            hi = mid
+
+    fine = AuditConfig(
+        invariants=False, fingerprints=True, cadence_events=1,
+        capture_state=True, start_event=lo + 1, end_event=hi,
+    )
+    probes += 1
+    auditor_a = replay_a(fine)
+    auditor_b = replay_b(fine)
+    fine_position = compare_timelines(auditor_a.fingerprints, auditor_b.fingerprints)
+    if fine_position is None:
+        # Divergence visible at coarse cadence but not inside the bracket:
+        # the bracket bounds were off by a run ending early.
+        raise ReproError(
+            f"bisect lost the divergence inside ({lo}, {hi}]; the runs may "
+            f"not be deterministic replays"
+        )
+
+    def _at(auditor: InvariantAuditor, position: int):
+        samples = auditor.fingerprints
+        if position < len(samples):
+            return samples[position], (
+                auditor.states[position] if position < len(auditor.states) else None
+            )
+        return None, None
+
+    sample_a, state_a = _at(auditor_a, fine_position)
+    sample_b, state_b = _at(auditor_b, fine_position)
+    first = (sample_a or sample_b).index
+    return DivergenceReport(
+        diverged=True,
+        first_event=first,
+        bracket=(lo, hi),
+        time_a=sample_a.time_ms if sample_a else None,
+        time_b=sample_b.time_ms if sample_b else None,
+        digest_a=sample_a.digest if sample_a else None,
+        digest_b=sample_b.digest if sample_b else None,
+        differing_sections=(
+            _sections_differing(state_a, state_b)
+            if state_a is not None and state_b is not None
+            else ()
+        ),
+        state_a=state_a,
+        state_b=state_b,
+        probes=probes,
+    )

@@ -32,6 +32,9 @@ import sys
 import time
 from pathlib import Path
 
+from .audit import AuditConfig
+from .audit.bisect import bisect_divergence
+from .audit.replay import performance_replay
 from .core.comparison import figure6
 from .core.experiments import run_performance_experiment
 from .core.runner import ExperimentRunner, ExperimentTask, default_cache_dir
@@ -167,7 +170,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
     )
     runner = make_runner(args)
     task = ExperimentTask.performance(
-        config, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms
+        config, app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms,
+        audit=AuditConfig() if args.audit else None,
     )
     result = runner.results([task])[0]
     _finish(runner)
@@ -206,6 +210,48 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print()
         print(f"I/O failures surfaced to the workload: {result.io_failures}")
     return 0
+
+
+def cmd_bisect(args: argparse.Namespace) -> int:
+    """Replay two run variants; binary-search their first divergence.
+
+    Variants: ``--vary engine`` compares the fused fast engine against
+    the reference engine (expected identical — a divergence is an engine
+    bug); ``--vary seed`` compares ``--seed`` against ``--seed-b``
+    (expected to diverge almost immediately — useful for exercising the
+    bisector and for calibrating what a real divergence report looks
+    like).  Exit status: 0 when the timelines are identical, 3 when a
+    divergence was localized.
+    """
+    import dataclasses
+
+    system = SystemConfig(scale=args.scale, organization=args.organization)
+    policy = make_policy(args.policy, args.workload, args)
+    config = ExperimentConfig(
+        policy=policy, workload=args.workload, system=system, seed=args.seed
+    )
+    kwargs = dict(app_cap_ms=args.cap_ms, seq_cap_ms=args.cap_ms)
+    if args.vary == "engine":
+        label_a, label_b = "fast engine", "reference engine"
+        replay_a = performance_replay(config, **kwargs)
+        replay_b = performance_replay(
+            config,
+            simulator_factory=lambda: Simulator(immediate_queue=False),
+            **kwargs,
+        )
+    else:  # seed
+        seed_b = args.seed_b if args.seed_b is not None else args.seed + 1
+        label_a, label_b = f"seed {args.seed}", f"seed {seed_b}"
+        replay_a = performance_replay(config, **kwargs)
+        replay_b = performance_replay(
+            dataclasses.replace(config, seed=seed_b), **kwargs
+        )
+    print(f"run A: {label_a}; run B: {label_b}", file=sys.stderr)
+    report = bisect_divergence(
+        replay_a, replay_b, cadence=args.cadence, fine_limit=args.fine_limit
+    )
+    print(report.render())
+    return 3 if report.diverged else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -456,7 +502,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fault plan, e.g. "
                            "'fail:drive=2,at=5000,repair=20000;"
                            "slow:drive=0,at=0,factor=4;transient:rate=0.001'")
+    perf.add_argument("--audit", action="store_true",
+                      help="run with the invariant auditor attached; any "
+                           "bookkeeping violation aborts the run with a "
+                           "structured error")
     perf.set_defaults(func=cmd_perf)
+
+    bisect = sub.add_parser(
+        "bisect",
+        help="replay two run variants and binary-search the first "
+             "diverging event via state fingerprints",
+    )
+    add_base(bisect)
+    add_policy(bisect)
+    bisect.add_argument("--vary", choices=("engine", "seed"), default="engine",
+                        help="what differs between run A and run B: the "
+                             "engine variant (fast vs reference; expected "
+                             "identical) or the seed (expected to diverge)")
+    bisect.add_argument("--seed-b", type=int, default=None,
+                        help="run B's seed for --vary seed "
+                             "(default: --seed + 1)")
+    bisect.add_argument("--cap-ms", type=float, default=8_000.0,
+                        help="simulated-time cap per phase (small by "
+                             "default: every probe replays the run)")
+    bisect.add_argument("--organization", choices=ORGANIZATIONS,
+                        default="striped")
+    bisect.add_argument("--cadence", type=int, default=10_000,
+                        help="coarse-pass fingerprint cadence (events)")
+    bisect.add_argument("--fine-limit", type=int, default=1_024,
+                        help="bracket size below which the every-event "
+                             "fine pass replaces further probing")
+    bisect.set_defaults(func=cmd_bisect)
 
     faults = sub.add_parser(
         "faults",

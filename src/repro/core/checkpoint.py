@@ -27,6 +27,8 @@ import os
 from pathlib import Path
 from typing import Any
 
+from ..errors import ReproError
+
 MANIFEST_FORMAT = 1
 
 
@@ -58,19 +60,37 @@ class SweepCheckpoint:
         self.flush()
 
     def _load_done(self) -> set[str]:
+        from .runner import CACHE_FORMAT_VERSION  # local import avoids a cycle
+
         try:
             with open(self.manifest_path, encoding="utf-8") as handle:
                 manifest = json.load(handle)
-            if manifest.get("format") != MANIFEST_FORMAT:
-                return set()
-            done = manifest.get("done", [])
-            if not isinstance(done, list):
-                return set()
-            return {key for key in done if isinstance(key, str)}
         except Exception:
             # A corrupt or missing manifest resumes nothing; the sweep
             # re-runs (results may still replay from the global cache).
             return set()
+        if not isinstance(manifest, dict):
+            return set()
+        # A manifest written under a different cache format holds keys
+        # computed with a different hash recipe: none of them can match
+        # this sweep's tasks, so a "resume" would silently re-run
+        # everything while *appearing* to honor the checkpoint.  Fail
+        # loudly instead of guessing.
+        stored = manifest.get("cache_format")
+        if stored != CACHE_FORMAT_VERSION:
+            raise ReproError(
+                f"checkpoint at {self.directory} was written under cache "
+                f"format {stored!r} but this build uses "
+                f"{CACHE_FORMAT_VERSION}; its task keys cannot match. "
+                f"Restart the sweep without --resume, or clear the "
+                f"checkpoint directory."
+            )
+        if manifest.get("format") != MANIFEST_FORMAT:
+            return set()
+        done = manifest.get("done", [])
+        if not isinstance(done, list):
+            return set()
+        return {key for key in done if isinstance(key, str)}
 
     # -- progress -----------------------------------------------------------
 
@@ -88,8 +108,11 @@ class SweepCheckpoint:
 
     def flush(self) -> None:
         """Atomically rewrite the manifest snapshot."""
+        from .runner import CACHE_FORMAT_VERSION  # local import avoids a cycle
+
         payload = {
             "format": MANIFEST_FORMAT,
+            "cache_format": CACHE_FORMAT_VERSION,
             "total": self._total,
             "completed": len(self._done),
             "done": sorted(self._done),

@@ -10,6 +10,7 @@ tables quoted verbatim from §4.3.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field
 
 from ..alloc.base import Allocator
@@ -70,6 +71,48 @@ class SystemConfig:
                 f"unknown organization {self.organization!r}; "
                 f"expected one of {', '.join(ORGANIZATIONS)}"
             )
+        if self.queue_discipline not in ("fcfs", "elevator"):
+            raise ConfigurationError(
+                f"queue_discipline: unknown discipline "
+                f"{self.queue_discipline!r}; expected 'fcfs' or 'elevator'"
+            )
+        if not isinstance(self.n_disks, int) or self.n_disks <= 0:
+            raise ConfigurationError(
+                f"n_disks: need a positive drive count, got {self.n_disks!r}"
+            )
+        stripe = parse_size(self.stripe_unit)
+        unit = parse_size(self.disk_unit)
+        if stripe <= 0:
+            raise ConfigurationError(
+                f"stripe_unit: must be positive, got {self.stripe_unit!r}"
+            )
+        if unit <= 0:
+            raise ConfigurationError(
+                f"disk_unit: must be positive, got {self.disk_unit!r}"
+            )
+        if stripe % unit:
+            raise ConfigurationError(
+                f"stripe_unit: {stripe} bytes is not a whole number of "
+                f"{unit}-byte disk units"
+            )
+        if not math.isfinite(self.scale) or self.scale <= 0:
+            raise ConfigurationError(
+                f"scale: must be positive and finite, got {self.scale!r}"
+            )
+        # NaN slips through DiskGeometry's own sign checks (every
+        # comparison with NaN is False), then poisons seek times and the
+        # stabilization rule far from the config that caused it.
+        for field_name in (
+            "single_track_seek_ms",
+            "incremental_seek_ms",
+            "rotation_ms",
+            "head_switch_ms",
+        ):
+            value = getattr(self.geometry, field_name)
+            if not math.isfinite(value):
+                raise ConfigurationError(
+                    f"geometry.{field_name}: must be finite, got {value!r}"
+                )
 
     @property
     def stripe_unit_bytes(self) -> int:

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..audit.fingerprint import Fingerprint
+from ..audit.invariants import AuditConfig, InvariantAuditor
 from ..errors import ConfigurationError, DiskFullError
 from ..fault.injector import FaultInjector, FaultSummary
 from ..fs.filesystem import FileSystem
@@ -27,7 +29,7 @@ from ..obs.telemetry import emit, progress_frame, telemetry_enabled
 from ..obs.tracer import TraceData, Tracer, drive_lane
 from ..sim.engine import Simulator
 from ..sim.meters import ThroughputMeter
-from ..sim.rng import RandomStream
+from ..sim.rng import RandomStream, StreamLedger, install_ledger, uninstall_ledger
 from ..workload.driver import (
     AllocationTestResult,
     WorkloadDriver,
@@ -89,21 +91,47 @@ def run_allocation_experiment(
     config: ExperimentConfig,
     fill_fraction: float | None = None,
     max_operations: int = 5_000_000,
+    audit: AuditConfig | None = None,
 ) -> AllocationTestResult:
-    """Fill the disk through workload churn; measure fragmentation."""
+    """Fill the disk through workload churn; measure fragmentation.
+
+    ``audit`` attaches an :class:`~repro.audit.InvariantAuditor`; the
+    allocation test never enters the event loop, so the auditor sweeps
+    per churn *operation* instead of per executed event, plus once at
+    the end.  Violations raise
+    :class:`~repro.errors.InvariantViolation`.
+    """
     if fill_fraction is None:
         fill_fraction = allocation_fill_for(config.workload)
-    sim = Simulator()
-    array = config.system.build_array(sim)
-    rng = RandomStream(config.seed, "allocation-experiment")
-    allocator = config.policy.build(
-        array.capacity_units, config.system.disk_unit_bytes, rng.fork("alloc")
-    )
-    fs = FileSystem(sim, array, allocator)
-    profile = build_profile(config.workload, config.system, fill_fraction)
-    return run_allocation_until_full(
-        fs, profile, seed=config.seed, max_operations=max_operations
-    )
+    ledger = None
+    if audit is not None:
+        ledger = StreamLedger()
+        install_ledger(ledger)
+    try:
+        sim = Simulator()
+        array = config.system.build_array(sim)
+        rng = RandomStream(config.seed, "allocation-experiment")
+        allocator = config.policy.build(
+            array.capacity_units, config.system.disk_unit_bytes, rng.fork("alloc")
+        )
+        fs = FileSystem(sim, array, allocator)
+        auditor = None
+        if audit is not None:
+            auditor = InvariantAuditor(audit)
+            auditor.observe(
+                fs=fs, array=array, allocator=allocator, ledger=ledger
+            )
+        profile = build_profile(config.workload, config.system, fill_fraction)
+        result = run_allocation_until_full(
+            fs, profile, seed=config.seed, max_operations=max_operations,
+            auditor=auditor,
+        )
+        if auditor is not None:
+            auditor.finish(sim)
+        return result
+    finally:
+        if ledger is not None:
+            uninstall_ledger()
 
 
 # ---------------------------------------------------------------------------
@@ -161,6 +189,11 @@ class PerformanceResult:
     faults: FaultSummary | None = None
     trace: TraceData | None = None
     metrics: dict | None = None
+    #: Canonical state-fingerprint timeline (``audit=`` with fingerprints
+    #: on); rides the cache/pool plumbing like traces do, which is what
+    #: lets the determinism tests compare timelines across worker counts
+    #: and engine variants.
+    fingerprints: tuple[Fingerprint, ...] | None = None
 
 
 class _PhaseMonitor:
@@ -354,6 +387,7 @@ def run_performance_experiment(
     simulator_factory: Callable[[], Simulator] | None = None,
     collect_trace: bool = False,
     collect_metrics: bool = False,
+    audit: AuditConfig | None = None,
 ) -> PerformanceResult:
     """The §3 application and sequential performance tests.
 
@@ -372,51 +406,89 @@ def run_performance_experiment(
     ships its end-of-run snapshot.  Neither changes the simulated event
     sequence, so the performance numbers are bit-identical with
     observability on or off.
+
+    ``audit`` attaches an :class:`~repro.audit.InvariantAuditor`: swept
+    invariant checks (violations raise
+    :class:`~repro.errors.InvariantViolation`) and, when the config asks
+    for them, a canonical fingerprint timeline shipped on the result.
+    Like observability, auditing schedules nothing — the event sequence
+    and the reported numbers are identical with it on or off.
     """
-    sim = Simulator() if simulator_factory is None else simulator_factory()
-    if collect_trace:
-        sim.tracer = Tracer(sim)
-    if collect_metrics:
-        sim.metrics = MetricsRegistry()
-    array = config.system.build_array(sim)
-    _attach_observability(sim, array)
-    injector = None
-    if config.faults is not None and not config.faults.empty:
-        injector = FaultInjector(sim, array, config.faults, seed=config.seed)
-    rng = RandomStream(config.seed, "perf-experiment")
-    allocator = config.policy.build(
-        array.capacity_units, config.system.disk_unit_bytes, rng.fork("alloc")
-    )
-    fs = FileSystem(sim, array, allocator)
-    profile = build_profile(config.workload, config.system, config.fill_fraction)
-    driver = WorkloadDriver(sim, fs, profile, seed=config.seed)
-    if telemetry_enabled():
-        emit(progress_frame("populate", sim.now))
-    driver.populate()
-    target = (driver.lower_bound + driver.upper_bound) / 2.0
-    _prefill(fs, driver, profile, target, config.seed)
-    driver.start_users()
-    if telemetry_enabled():
-        emit(progress_frame("warmup", sim.now, cap_ms=warmup_ms))
-    sim.run(until=sim.now + warmup_ms)
-
-    idle = PhaseResult(0.0, False, 0.0, 0.0)
-    max_bandwidth = array.max_bandwidth_bytes_per_ms
-    application = idle
-    if run_application:
-        application = _measure_phase(
-            sim, fs, max_bandwidth, app_cap_ms, interval_ms, window,
-            tolerance, stage="application",
+    ledger = None
+    if audit is not None:
+        # Install before any stream exists so the ledger (and therefore
+        # the rng fingerprint section) covers every stream in the run.
+        ledger = StreamLedger()
+        install_ledger(ledger)
+    try:
+        sim = Simulator() if simulator_factory is None else simulator_factory()
+        if collect_trace:
+            sim.tracer = Tracer(sim)
+        if collect_metrics:
+            sim.metrics = MetricsRegistry()
+        array = config.system.build_array(sim)
+        _attach_observability(sim, array)
+        injector = None
+        if config.faults is not None and not config.faults.empty:
+            injector = FaultInjector(sim, array, config.faults, seed=config.seed)
+        rng = RandomStream(config.seed, "perf-experiment")
+        allocator = config.policy.build(
+            array.capacity_units, config.system.disk_unit_bytes, rng.fork("alloc")
         )
-    sequential = idle
-    if run_sequential:
-        driver.mode = "sequential"
-        sequential = _measure_phase(
-            sim, fs, max_bandwidth, seq_cap_ms, interval_ms, window,
-            tolerance, stage="sequential",
+        fs = FileSystem(sim, array, allocator)
+        profile = build_profile(
+            config.workload, config.system, config.fill_fraction
         )
+        driver = WorkloadDriver(sim, fs, profile, seed=config.seed)
+        auditor = None
+        if audit is not None:
+            auditor = InvariantAuditor(audit).attach(sim)
+            auditor.observe(
+                fs=fs, array=array, allocator=allocator,
+                injector=injector, ledger=ledger,
+            )
+        if telemetry_enabled():
+            emit(progress_frame("populate", sim.now))
+        driver.populate()
+        target = (driver.lower_bound + driver.upper_bound) / 2.0
+        _prefill(fs, driver, profile, target, config.seed)
+        driver.start_users()
+        if telemetry_enabled():
+            emit(progress_frame("warmup", sim.now, cap_ms=warmup_ms))
+        sim.run(until=sim.now + warmup_ms)
 
-    fault_summary = injector.summary(up_to_time=sim.now) if injector else None
+        idle = PhaseResult(0.0, False, 0.0, 0.0)
+        max_bandwidth = array.max_bandwidth_bytes_per_ms
+        application = idle
+        if run_application:
+            application = _measure_phase(
+                sim, fs, max_bandwidth, app_cap_ms, interval_ms, window,
+                tolerance, stage="application",
+            )
+        sequential = idle
+        if run_sequential:
+            driver.mode = "sequential"
+            sequential = _measure_phase(
+                sim, fs, max_bandwidth, seq_cap_ms, interval_ms, window,
+                tolerance, stage="sequential",
+            )
+
+        if auditor is not None:
+            auditor.finish(sim)
+        fault_summary = injector.summary(up_to_time=sim.now) if injector else None
+        return _build_performance_result(
+            config, fs, driver, sim, application, sequential,
+            fault_summary, auditor,
+        )
+    finally:
+        if ledger is not None:
+            uninstall_ledger()
+
+
+def _build_performance_result(
+    config, fs, driver, sim, application, sequential, fault_summary, auditor
+) -> PerformanceResult:
+    """Assemble the result record from the finished run's subsystems."""
     return PerformanceResult(
         policy_label=config.policy.label,
         workload=config.workload,
@@ -435,6 +507,11 @@ def run_performance_experiment(
         metrics=(
             collect_metrics_snapshot(sim, fs, driver, fault_summary)
             if sim.metrics is not None
+            else None
+        ),
+        fingerprints=(
+            tuple(auditor.fingerprints)
+            if auditor is not None and auditor.config.fingerprints
             else None
         ),
     )

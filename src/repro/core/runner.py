@@ -62,7 +62,8 @@ from .pool import SupervisedPool
 #: old cache entries then miss instead of deserializing stale science.
 #: 2: checksummed cache entries; PerformanceResult gained fault fields.
 #: 3: PerformanceResult gained trace/metrics fields (repro.obs).
-CACHE_FORMAT_VERSION = 3
+#: 4: PerformanceResult gained the fingerprint timeline (repro.audit).
+CACHE_FORMAT_VERSION = 4
 
 #: Test kinds and the §3 procedures they dispatch to.
 _EXPERIMENT_KINDS: dict[str, Callable[..., Any]] = {

@@ -71,6 +71,7 @@ class QueuedDrive:
         self.busy_ms = 0.0
         self.bytes_moved = 0
         self.requests_served = 0
+        self.requests_enqueued = 0
         self.latency = Tally()
         self.queue_wait = Tally()
         #: Per-drive fault flags, attached by a
@@ -127,6 +128,7 @@ class QueuedDrive:
             metrics.gauge_max(
                 f"disk.queue_depth_max.d{self.index}", len(self._queue) + 1
             )
+        self.requests_enqueued += 1
         self._queue.append((request, completion, self.sim.now, spans))
         if not self._busy:
             self._start_next(self.sim)

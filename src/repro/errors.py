@@ -98,6 +98,37 @@ class SweepInterrupted(ReproError):
         )
 
 
+class InvariantViolation(ReproError):
+    """A runtime invariant check (:mod:`repro.audit`) failed mid-run.
+
+    Raised by the invariant auditor when a swept check finds simulator
+    state that contradicts its own bookkeeping — leaked extents, free
+    units that no longer sum to capacity, a queue entry that vanished.
+    These are *simulator bugs*, not user errors: the exception carries
+    enough context to localize the corruption.
+
+    Attributes:
+        time_ms: simulated time when the sweep caught the violation.
+        subsystem: which bookkeeping domain failed (``"alloc"``,
+            ``"fs"``, ``"disk"``, ``"clock"``, ``"rng"``, ``"fault"``).
+        check: the registered check name that raised.
+        excerpt: a small JSON-safe snapshot of the offending state.
+    """
+
+    def __init__(
+        self, time_ms: float, subsystem: str, check: str, detail: str,
+        excerpt: "dict | None" = None,
+    ) -> None:
+        self.time_ms = time_ms
+        self.subsystem = subsystem
+        self.check = check
+        self.detail = detail
+        self.excerpt = excerpt or {}
+        super().__init__(
+            f"invariant {subsystem}/{check} violated at t={time_ms:g}ms: {detail}"
+        )
+
+
 class InvalidRequestError(ReproError):
     """A disk or file-system request is malformed (bad offset, size, id)."""
 

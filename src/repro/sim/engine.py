@@ -289,6 +289,11 @@ class Simulator:
         #: sequence at the same speed as one predating the layer.
         self.tracer = None
         self.metrics = None
+        #: State-integrity attachment point (:mod:`repro.audit`).  Like
+        #: the observability slots, ``None`` keeps the fused run loop
+        #: untouched; an attached auditor switches :meth:`run` onto a
+        #: per-event loop that sweeps invariants and fingerprints.
+        self.auditor = None
         #: Fault-hook subscribers (see :meth:`on_fault`); empty for every
         #: fault-free simulation, so the hot path never touches them.
         self._fault_hooks: list[Callable[["Simulator", FaultEvent], None]] = []
@@ -380,6 +385,8 @@ class Simulator:
         self._stopped = False
         if self.profile is not None:
             return self._run_profiled(until, stop_when)
+        if self.auditor is not None:
+            return self._run_audited(until, stop_when)
         heap = self._heap
         # The two event queues, aliased for the duration of the loop.
         # EventHeap._compact mutates the heap list in place, so these
@@ -467,6 +474,41 @@ class Simulator:
             callback(self, *event.args)
             profile.record(callback, perf_counter() - started)
             self._events_executed += 1
+            if stop_when is not None and stop_when():
+                return
+        if until is not None and not self._stopped:
+            if len(heap) > 0:
+                self.now = until
+            else:
+                self.now = max(self.now, until)
+
+    def _run_audited(
+        self,
+        until: float | None,
+        stop_when: Callable[[], bool] | None,
+    ) -> None:
+        """The run loop with per-event invariant/fingerprint sweeping.
+
+        Structured like :meth:`_run_profiled`: one event per
+        ``pop_next`` with the auditor consulted after each callback.
+        The auditor decides internally whether this event lands on its
+        sweep cadence, so most events cost one method call.  Fires the
+        exact same event sequence as the fused loop.
+        """
+        heap = self._heap
+        auditor = self.auditor
+        while not self._stopped:
+            event = heap.pop_next(until)
+            if event is None:
+                break
+            if event.time < self.now:
+                raise SimulationError(
+                    "event heap returned an event in the past"
+                )
+            self.now = event.time
+            event.callback(self, *event.args)
+            self._events_executed += 1
+            auditor.after_event(self)
             if stop_when is not None and stop_when():
                 return
         if until is not None and not self._stopped:

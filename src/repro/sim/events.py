@@ -208,6 +208,19 @@ class EventHeap:
             return None
         return heap[0][0]
 
+    def live_events(self) -> list[Event]:
+        """Snapshot every live (non-cancelled) event in firing order.
+
+        Audit/fingerprint hook: returns a fresh list sorted by
+        ``(time, seq)`` regardless of which internal queue holds each
+        event, so two engines in identical logical state render the
+        same snapshot.  O(n log n); never called from the run loop.
+        """
+        events = [entry[2] for entry in self._heap if not entry[2].cancelled]
+        events.extend(e for e in self._immediate if not e.cancelled)
+        events.sort(key=lambda e: (e.time, e.seq))
+        return events
+
     # -- cancellation bookkeeping ------------------------------------------
 
     def note_cancelled(self, event: Event | None = None) -> None:

@@ -19,6 +19,58 @@ from ..errors import ConfigurationError
 T = TypeVar("T")
 
 
+class StreamLedger:
+    """Registry of every stream constructed while installed (audit hook).
+
+    The invariant auditor installs one per experiment
+    (:func:`install_ledger`) so it can sweep per-stream draw counts and
+    fingerprint each stream's internal state.  Registration keys are
+    ``name#n`` — the stream name plus a registration ordinal — so two
+    streams that legitimately share a name stay distinguishable.
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, RandomStream] = {}
+        self._by_name: dict[str, int] = {}
+
+    def register(self, stream: "RandomStream") -> None:
+        ordinal = self._by_name.get(stream.name, 0)
+        self._by_name[stream.name] = ordinal + 1
+        self._streams[f"{stream.name}#{ordinal}"] = stream
+
+    def items(self):
+        """``(key, stream)`` pairs in registration order."""
+        return self._streams.items()
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+
+#: Module-level ledger slot.  ``None`` (the default) is the
+#: zero-overhead path: stream construction checks one global, sampling
+#: never does.  Installed/uninstalled per experiment — both the inline
+#: runner and pool workers execute one experiment at a time, so a
+#: module global cannot cross-contaminate concurrent points.
+_LEDGER: StreamLedger | None = None
+
+
+def install_ledger(ledger: StreamLedger) -> None:
+    """Register subsequently-constructed streams with ``ledger``."""
+    global _LEDGER
+    _LEDGER = ledger
+
+
+def uninstall_ledger() -> None:
+    """Stop registering streams (always pair with :func:`install_ledger`)."""
+    global _LEDGER
+    _LEDGER = None
+
+
+def current_ledger() -> StreamLedger | None:
+    """The installed ledger, or ``None``."""
+    return _LEDGER
+
+
 def _derive_seed(seed: int, name: str) -> int:
     """Derive a child seed from a parent seed and a stream name.
 
@@ -42,10 +94,24 @@ class RandomStream:
         self.seed = seed
         self.name = name
         self._random = random.Random(_derive_seed(seed, name))
+        #: Samples drawn through this stream's public methods; the audit
+        #: ledger asserts this only ever grows.
+        self.draws = 0
+        if _LEDGER is not None:
+            _LEDGER.register(self)
 
     def fork(self, name: str) -> "RandomStream":
         """Create an independent child stream identified by ``name``."""
         return RandomStream(self.seed, f"{self.name}/{name}")
+
+    def state_digest(self) -> str:
+        """sha256 of the underlying generator state (fingerprint hook).
+
+        ``random.Random.getstate`` is a pure function of seed and draw
+        history, so the digest is identical across processes and engine
+        variants whenever the draw sequences are.
+        """
+        return hashlib.sha256(repr(self._random.getstate()).encode()).hexdigest()
 
     # -- distribution families ---------------------------------------------
 
@@ -53,12 +119,14 @@ class RandomStream:
         """Uniform value in ``[low, high]``."""
         if high < low:
             raise ConfigurationError(f"uniform range inverted: [{low}, {high}]")
+        self.draws += 1
         return self._random.uniform(low, high)
 
     def uniform_int(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high]`` inclusive."""
         if high < low:
             raise ConfigurationError(f"uniform range inverted: [{low}, {high}]")
+        self.draws += 1
         return self._random.randint(low, high)
 
     def uniform_around(self, mean: float, deviation: float) -> float:
@@ -68,6 +136,7 @@ class RandomStream:
         from a uniform distribution with mean equal to initial size and
         deviation of initial deviation".
         """
+        self.draws += 1
         return max(0.0, self._random.uniform(mean - deviation, mean + deviation))
 
     def normal(self, mean: float, deviation: float, minimum: float = 0.0) -> float:
@@ -78,6 +147,7 @@ class RandomStream:
         """
         if deviation < 0:
             raise ConfigurationError(f"negative deviation: {deviation}")
+        self.draws += 1
         return max(minimum, self._random.gauss(mean, deviation))
 
     def exponential(self, mean: float) -> float:
@@ -86,12 +156,14 @@ class RandomStream:
             raise ConfigurationError(f"negative exponential mean: {mean}")
         if mean == 0:
             return 0.0
+        self.draws += 1
         return self._random.expovariate(1.0 / mean)
 
     def choice(self, items: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""
         if not items:
             raise ConfigurationError("choice from an empty sequence")
+        self.draws += 1
         return self._random.choice(items)
 
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
@@ -104,6 +176,7 @@ class RandomStream:
         total = float(sum(weights))
         if total <= 0:
             raise ConfigurationError("weights must sum to a positive value")
+        self.draws += 1
         pick = self._random.random() * total
         cumulative = 0.0
         for item, weight in zip(items, weights):
@@ -114,10 +187,12 @@ class RandomStream:
 
     def shuffle(self, items: list[T]) -> None:
         """In-place Fisher-Yates shuffle."""
+        self.draws += 1
         self._random.shuffle(items)
 
     def random(self) -> float:
         """Raw uniform in [0, 1)."""
+        self.draws += 1
         return self._random.random()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

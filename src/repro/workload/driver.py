@@ -262,6 +262,7 @@ def run_allocation_until_full(
     profile: Profile,
     seed: int = 0,
     max_operations: int = 5_000_000,
+    auditor=None,
 ) -> AllocationTestResult:
     """Churn allocation operations until the first failure; measure.
 
@@ -270,6 +271,10 @@ def run_allocation_until_full(
     drawn per type (types weighted by their event rates) until a request
     cannot be satisfied: "As soon as the first allocation request fails,
     the external and internal fragmentation are computed."
+
+    ``auditor`` (an :class:`~repro.audit.InvariantAuditor`) is notified
+    after every churn operation; the test never enters the event loop,
+    so operations stand in for executed events on the sweep cadence.
     """
     rng = RandomStream(seed, f"alloctest/{profile.name}")
     files: dict[str, list[FsFile]] = {}
@@ -344,6 +349,8 @@ def run_allocation_until_full(
             except DiskFullError:
                 failed = True
                 break
+            if auditor is not None:
+                auditor.after_event(fs.sim)
 
     report = fs.fragmentation()
     allocator = fs.allocator

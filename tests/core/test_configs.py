@@ -1,5 +1,7 @@
 """Unit tests for the canonical experiment configurations."""
 
+import dataclasses
+
 import pytest
 
 from repro.alloc.buddy import BinaryBuddyAllocator
@@ -21,6 +23,7 @@ from repro.core.configs import (
     selected_extent,
     selected_fixed,
 )
+from repro.disk.geometry import WREN_IV
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStream
@@ -46,6 +49,60 @@ class TestSystemConfig:
         array = system.build_array(Simulator())
         assert len(array.drives) == 8
         assert array.capacity_bytes == system.capacity_bytes
+
+
+class TestSystemConfigValidation:
+    """Degenerate values are rejected at construction, naming the field."""
+
+    def test_zero_disks(self):
+        with pytest.raises(ConfigurationError, match="n_disks"):
+            SystemConfig(n_disks=0)
+
+    def test_negative_disks(self):
+        with pytest.raises(ConfigurationError, match="n_disks"):
+            SystemConfig(n_disks=-2)
+
+    def test_non_integer_disks(self):
+        with pytest.raises(ConfigurationError, match="n_disks"):
+            SystemConfig(n_disks=2.5)
+
+    def test_non_positive_stripe_unit(self):
+        with pytest.raises(ConfigurationError, match="stripe_unit"):
+            SystemConfig(stripe_unit=0)
+
+    def test_non_positive_disk_unit(self):
+        with pytest.raises(ConfigurationError, match="disk_unit"):
+            SystemConfig(disk_unit=-1024)
+
+    def test_stripe_not_multiple_of_unit(self):
+        with pytest.raises(ConfigurationError, match="stripe_unit"):
+            SystemConfig(stripe_unit=3000, disk_unit="1K")
+
+    def test_nan_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            SystemConfig(scale=float("nan"))
+
+    def test_non_positive_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            SystemConfig(scale=0.0)
+
+    def test_nan_seek_constant(self):
+        # NaN passes DiskGeometry's own sign checks (NaN comparisons are
+        # False), so the config layer must catch it.
+        bad = dataclasses.replace(WREN_IV, single_track_seek_ms=float("nan"))
+        with pytest.raises(
+            ConfigurationError, match="geometry.single_track_seek_ms"
+        ):
+            SystemConfig(geometry=bad)
+
+    def test_infinite_rotation(self):
+        bad = dataclasses.replace(WREN_IV, rotation_ms=float("inf"))
+        with pytest.raises(ConfigurationError, match="geometry.rotation_ms"):
+            SystemConfig(geometry=bad)
+
+    def test_bad_queue_discipline(self):
+        with pytest.raises(ConfigurationError, match="queue_discipline"):
+            SystemConfig(queue_discipline="lifo")
 
 
 class TestPolicyBuilders:

@@ -1,6 +1,7 @@
 """Tests for hardened sweep execution: the supervised pool, per-task
 timeouts, bounded retries, checkpoint/resume, and graceful interrupts."""
 
+import json
 import os
 import signal
 import time
@@ -10,8 +11,13 @@ import pytest
 from repro.core.checkpoint import SweepCheckpoint
 from repro.core.configs import ExperimentConfig, FixedPolicy, SystemConfig
 from repro.core.pool import SupervisedPool
-from repro.core.runner import ExperimentRunner, ExperimentTask, ResultCache
-from repro.errors import ConfigurationError, SweepInterrupted
+from repro.core.runner import (
+    CACHE_FORMAT_VERSION,
+    ExperimentRunner,
+    ExperimentTask,
+    ResultCache,
+)
+from repro.errors import ConfigurationError, ReproError, SweepInterrupted
 
 
 # -- picklable work functions for the spawn workers -------------------------
@@ -216,6 +222,33 @@ class TestCheckpointResume:
         (tmp_path / "manifest.json").write_text("{ not json")
         ckpt = SweepCheckpoint(tmp_path)
         ckpt.begin(total=2, resume=True)
+        assert ckpt.completed == 0
+
+    def test_stale_cache_format_fails_loudly(self, tmp_path):
+        # A manifest from an older build holds task keys computed with a
+        # different hash recipe; resuming from it must not silently
+        # re-run everything while appearing to honor the checkpoint.
+        ckpt = SweepCheckpoint(tmp_path)
+        ckpt.begin(total=1, resume=False)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["cache_format"] = CACHE_FORMAT_VERSION - 1
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ReproError, match="cache format"):
+            SweepCheckpoint(tmp_path).begin(total=1, resume=True)
+
+    def test_versionless_manifest_fails_loudly(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": 1, "done": ["abc"]})
+        )
+        with pytest.raises(ReproError, match="cache format"):
+            SweepCheckpoint(tmp_path).begin(total=1, resume=True)
+
+    def test_fresh_start_ignores_stale_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"format": 1, "done": ["abc"]})
+        )
+        ckpt = SweepCheckpoint(tmp_path)
+        ckpt.begin(total=1, resume=False)  # no --resume: no error
         assert ckpt.completed == 0
 
     def test_checkpoint_results_validate_on_read(self, tmp_path):

@@ -215,6 +215,40 @@ class TestCommands:
         assert "Internal fragmentation" in captured.out
 
 
+class TestBisectCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bisect"])
+        assert args.vary == "engine"
+        assert args.seed_b is None
+        assert args.cadence == 10_000
+        assert args.fine_limit == 1_024
+
+    def test_perf_audit_flag(self):
+        assert build_parser().parse_args(["perf"]).audit is False
+        assert build_parser().parse_args(["perf", "--audit"]).audit is True
+
+    def test_engine_variants_are_identical(self, capsys):
+        code = main(
+            [
+                "bisect", "--vary", "engine", "--scale", "0.005",
+                "--cap-ms", "300", "--cadence", "2000",
+            ]
+        )
+        assert code == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_seed_variants_diverge(self, capsys):
+        code = main(
+            [
+                "bisect", "--vary", "seed", "--scale", "0.005",
+                "--cap-ms", "300", "--cadence", "200", "--fine-limit", "64",
+            ]
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "first diverging event" in out
+
+
 class TestExitCodes:
     """The docstring contract: library errors → stderr + exit 2."""
 

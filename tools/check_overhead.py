@@ -86,6 +86,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
+    # The audit hook follows the same contract as the tracer/metrics
+    # hooks: a plain attribute defaulting to None, checked outside the
+    # fused loop.  Assert the default before timing anything — a stray
+    # always-on auditor would make the rate comparison measure the wrong
+    # thing.
+    from repro import Simulator
+
+    if Simulator().auditor is not None:
+        print(
+            "check_overhead: FAIL — fresh Simulator() has a non-None "
+            "auditor; the audited path must be opt-in",
+            file=sys.stderr,
+        )
+        return 1
+    print("auditor default: None (disabled path) — OK")
+
     try:
         record = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as exc:
