@@ -13,7 +13,15 @@ import time
 from typing import Any, Callable
 
 from repro.alloc.base import Allocator
-from repro.core.configs import RestrictedPolicy
+from repro.core.configs import (
+    BuddyPolicy,
+    ExtentPolicy,
+    FfsPolicy,
+    FixedPolicy,
+    LogStructuredPolicy,
+    PolicyConfig,
+    RestrictedPolicy,
+)
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import WREN_IV
 from repro.disk.request import DiskRequest, IoKind
@@ -172,13 +180,15 @@ def _churn(allocator: Allocator, rng: RandomStream, n_ops: int) -> int:
     return performed
 
 
-def bench_alloc_churn(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
-    """Create/extend/truncate/delete churn on the restricted buddy policy."""
+def _bench_policy_churn(
+    policy: PolicyConfig, scale: float, repeats: int
+) -> dict[str, Any]:
+    """Create/extend/truncate/delete churn on one allocation policy."""
     n_ops = max(200, int(30_000 * scale))
 
     def run() -> tuple[int, float]:
         rng = RandomStream(13, "micro-alloc")
-        allocator = RestrictedPolicy().build(
+        allocator = policy.build(
             _ALLOC_CAPACITY_UNITS, _ALLOC_UNIT_BYTES, rng.fork("policy")
         )
         ops_rng = rng.fork("ops")
@@ -196,11 +206,35 @@ def bench_alloc_churn(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
     }
 
 
+def bench_alloc_churn(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """Churn on the restricted buddy policy (the paper's central design)."""
+    return _bench_policy_churn(RestrictedPolicy(), scale, repeats)
+
+
+#: The per-policy churn variants (``alloc_churn`` itself is restricted).
+_CHURN_POLICIES: dict[str, PolicyConfig] = {
+    "alloc_churn_buddy": BuddyPolicy(),
+    "alloc_churn_extent": ExtentPolicy(),
+    "alloc_churn_ffs": FfsPolicy(),
+    "alloc_churn_fixed": FixedPolicy(),
+    "alloc_churn_log": LogStructuredPolicy(),
+}
+
+
+def _make_policy_bench(policy: PolicyConfig) -> Callable[[float, int], dict[str, Any]]:
+    def bench(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+        return _bench_policy_churn(policy, scale, repeats)
+
+    return bench
+
+
 #: Registry: name -> benchmark callable(scale, repeats) -> result dict.
 BENCHMARKS: dict[str, Callable[[float, int], dict[str, Any]]] = {
     "engine_loop": bench_engine_loop,
     "disk_service": bench_disk_service,
     "alloc_churn": bench_alloc_churn,
+    **{name: _make_policy_bench(policy)
+       for name, policy in _CHURN_POLICIES.items()},
 }
 
 

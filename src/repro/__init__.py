@@ -87,6 +87,7 @@ from .audit import (
 )
 from .errors import (
     AllocationError,
+    AllocatorStateError,
     ConfigurationError,
     DataUnavailableError,
     DiskFullError,
@@ -220,6 +221,7 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "AllocationError",
+    "AllocatorStateError",
     "DiskFullError",
     "ExperimentError",
     "FileSystemError",

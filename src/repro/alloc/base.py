@@ -18,25 +18,53 @@ import abc
 import itertools
 from dataclasses import dataclass, field
 
-from ..errors import DiskFullError, FileSystemError
+from ..errors import (
+    AllocatorStateError,
+    DiskFullError,
+    FileSystemError,
+    SimulationError,
+)
 from ..sim.rng import RandomStream
 
 
-@dataclass(frozen=True)
 class Extent:
-    """A contiguous run of disk units: ``[start, start + length)``."""
+    """A contiguous run of disk units: ``[start, start + length)``.
 
-    start: int
-    length: int
+    An immutable value type.  Hand-rolled rather than a frozen dataclass:
+    allocation churn builds one per block, and the explicit ``__init__``
+    roughly halves construction cost while keeping plain-slot reads,
+    value equality, and the read-only field contract.
+    """
+
+    __slots__ = ("start", "length")
+
+    def __init__(self, start: int, length: int) -> None:
+        if start < 0 or length <= 0:
+            raise FileSystemError(f"invalid extent {start}+{length}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "length", length)
 
     @property
     def end(self) -> int:
         """One past the last unit."""
         return self.start + self.length
 
-    def __post_init__(self) -> None:
-        if self.start < 0 or self.length <= 0:
-            raise FileSystemError(f"invalid extent {self.start}+{self.length}")
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"extent field {name!r} is read-only")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"extent field {name!r} is read-only")
+
+    def __repr__(self) -> str:
+        return f"Extent(start={self.start}, length={self.length})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Extent:
+            return self.start == other.start and self.length == other.length
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.length))
 
 
 @dataclass
@@ -105,6 +133,20 @@ class Allocator(abc.ABC):
 
     # -- public API ---------------------------------------------------------
 
+    def _wrap_state_error(
+        self, op: str, error: SimulationError
+    ) -> AllocatorStateError:
+        """Attach policy/op context to a structural error escaping ``op``.
+
+        A bare :class:`SimulationError` from deep inside the free
+        structures ("block N already free") is unattributable when it
+        surfaces from a fuzz run; re-raise it as
+        :class:`~repro.errors.AllocatorStateError` naming the policy and
+        the public operation.  Already-wrapped errors pass through
+        (callers re-raise them before reaching this).
+        """
+        return AllocatorStateError(self.name, op, error)
+
     def create(self, size_hint_units: int = 0) -> AllocFile:
         """Create a file: allocate its descriptor, no data yet.
 
@@ -116,7 +158,12 @@ class Allocator(abc.ABC):
             DiskFullError: no room for even the descriptor.
         """
         handle = AllocFile(file_id=next(self._ids))
-        handle.descriptor = self._allocate_descriptor(handle, size_hint_units)
+        try:
+            handle.descriptor = self._allocate_descriptor(handle, size_hint_units)
+        except AllocatorStateError:
+            raise
+        except SimulationError as error:
+            raise self._wrap_state_error("create", error) from error
         self._allocated_units += handle.descriptor.length
         self.files[handle.file_id] = handle
         return handle
@@ -139,8 +186,15 @@ class Allocator(abc.ABC):
         except DiskFullError:
             self.failed_requests += 1
             raise
+        except AllocatorStateError:
+            raise
+        except SimulationError as error:
+            raise self._wrap_state_error("extend", error) from error
         handle.extents.extend(added)
-        self._allocated_units += sum(extent.length for extent in added)
+        added_units = 0
+        for extent in added:
+            added_units += extent.length
+        self._allocated_units += added_units
         return added
 
     def truncate(self, handle: AllocFile, n_units: int) -> int:
@@ -154,24 +208,34 @@ class Allocator(abc.ABC):
         if n_units < 0:
             raise FileSystemError(f"truncate by negative size: {n_units}")
         freed = 0
-        while handle.extents and freed + handle.extents[-1].length <= n_units:
-            extent = handle.extents.pop()
-            self._release_extent(handle, extent)
-            freed += extent.length
+        try:
+            while handle.extents and freed + handle.extents[-1].length <= n_units:
+                extent = handle.extents.pop()
+                self._release_extent(handle, extent)
+                freed += extent.length
+        except AllocatorStateError:
+            raise
+        except SimulationError as error:
+            raise self._wrap_state_error("truncate", error) from error
         self._allocated_units -= freed
         return freed
 
     def delete(self, handle: AllocFile) -> None:
         """Free all data extents and the descriptor; retire the file."""
         self._check_live(handle)
-        for extent in reversed(handle.extents):
-            self._release_extent(handle, extent)
-            self._allocated_units -= extent.length
-        handle.extents.clear()
-        if handle.descriptor is not None:
-            self._release_descriptor(handle, handle.descriptor)
-            self._allocated_units -= handle.descriptor.length
-            handle.descriptor = None
+        try:
+            for extent in reversed(handle.extents):
+                self._release_extent(handle, extent)
+                self._allocated_units -= extent.length
+            handle.extents.clear()
+            if handle.descriptor is not None:
+                self._release_descriptor(handle, handle.descriptor)
+                self._allocated_units -= handle.descriptor.length
+                handle.descriptor = None
+        except AllocatorStateError:
+            raise
+        except SimulationError as error:
+            raise self._wrap_state_error("delete", error) from error
         handle.deleted = True
         del self.files[handle.file_id]
 

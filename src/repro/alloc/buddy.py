@@ -86,9 +86,10 @@ class BinaryBuddyAllocator(Allocator):
             remaining -= size
 
     def _free_list(self, order: int) -> SortedAddresses:
-        if order not in self._free_by_order:
-            self._free_by_order[order] = SortedAddresses()
-        return self._free_by_order[order]
+        free_list = self._free_by_order.get(order)
+        if free_list is None:
+            free_list = self._free_by_order[order] = SortedAddresses()
+        return free_list
 
     # -- segment geometry -------------------------------------------------------
 
@@ -111,16 +112,19 @@ class BinaryBuddyAllocator(Allocator):
 
     def _allocate_block(self, order: int) -> int:
         """Take one block of exactly ``2**order`` units, splitting as needed."""
-        available = self._free_list(order).first()
-        if available is not None:
-            self._free_list(order).remove(available)
-            return available
+        free_list = self._free_by_order.get(order)
+        if free_list is not None:
+            available = free_list.pop_first()
+            if available is not None:
+                return available
         # Split the smallest larger block (lowest address among that order).
         for larger in range(order + 1, self.max_order + 1):
-            candidate = self._free_list(larger).first()
+            larger_list = self._free_by_order.get(larger)
+            if larger_list is None:
+                continue
+            candidate = larger_list.pop_first()
             if candidate is None:
                 continue
-            self._free_list(larger).remove(candidate)
             # Peel halves downward, keeping the low half each time.
             for current in range(larger - 1, order - 1, -1):
                 self._free_list(current).add(candidate + (1 << current))
@@ -128,12 +132,18 @@ class BinaryBuddyAllocator(Allocator):
         raise self._fail(1 << order)
 
     def _free_block(self, address: int, order: int) -> None:
-        """Return a block, coalescing with free buddies as far as possible."""
+        """Return a block, coalescing with free buddies as far as possible.
+
+        Each rung costs one bisect: ``discard`` both answers "is my buddy
+        free" and takes it when it is.
+        """
         while True:
             buddy = self._buddy_of(address, order)
-            if buddy is None or buddy not in self._free_list(order):
+            if buddy is None:
                 break
-            self._free_list(order).remove(buddy)
+            free_list = self._free_by_order.get(order)
+            if free_list is None or not free_list.discard(buddy):
+                break
             address = min(address, buddy)
             order += 1
         self._free_list(order).add(address)

@@ -146,12 +146,23 @@ class FfsAllocator(Allocator):
         return found
 
     def _find_run(self, mask: int, n_fragments: int) -> int | None:
-        """Lowest offset of ``n_fragments`` consecutive set bits in mask."""
-        run_mask = (1 << n_fragments) - 1
-        for offset in range(self.block_units - n_fragments + 1):
-            if (mask >> offset) & run_mask == run_mask:
-                return offset
-        return None
+        """Lowest offset of ``n_fragments`` consecutive set bits in mask.
+
+        Run-collapse on the integer itself: after ``mask &= mask >> t``
+        bit ``i`` survives iff bits ``i .. i+r+t-1`` were all set, so
+        doubling ``t`` reaches run length ``n`` in O(log n) big-int ops
+        instead of a per-offset scan.  The mask holds no bits at or above
+        ``block_units``, so a surviving offset always fits the block.
+        """
+        collapsed = mask
+        length = 1
+        while collapsed and length < n_fragments:
+            take = min(length, n_fragments - length)
+            collapsed &= collapsed >> take
+            length += take
+        if not collapsed:
+            return None
+        return (collapsed & -collapsed).bit_length() - 1
 
     def _release_run(self, start: int, length: int) -> None:
         """Return fragments/blocks; whole-free blocks rejoin the block pool."""

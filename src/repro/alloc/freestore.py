@@ -7,88 +7,138 @@ is maintained in sorted order. ... Maximum sized blocks which are
 completely unused require one bit.  Smaller blocks are represented only if
 one of their buddies is in use."
 
-:class:`FreeBlockList` is the paper's sorted circular list with two
-indexes bolted on (an address dict for O(1) membership and a bisect list
-for O(log n) successor queries); the three structures are kept in lock
-step and cross-checked by the test suite.  :class:`LadderFreeStore` owns
-one bitmap (maximum-size blocks) plus one :class:`FreeBlockList` per
-smaller ladder size, provides aligned split/coalesce, and answers the
-region-scoped queries the allocation algorithm needs.
+This is the hot-path implementation.  :class:`FreeBlockList` keeps one
+flat sorted address list per block size — a single container answering
+membership, successor, and range queries by bisection, with whole sibling
+runs spliced in and out as one C-level slice operation (the batched form
+of the paper's split and coalesce walks).  :class:`LadderFreeStore` owns
+the maximum-size bitmap plus one list per smaller ladder size, and
+optionally maintains per-region, per-size free-block counts so the
+restricted policy's region ring scans skip empty regions in O(1) instead
+of bisecting into every region.
+
+Every allocation decision is bit-identical to the retained reference
+implementation in :mod:`repro.alloc.reference` (the pre-rewrite circular
+DLL + dict + bisect-index triple); the differential property tests in
+``tests/alloc/test_differential.py`` drive both through identical
+operation sequences and require identical answers and snapshots at every
+step.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 from ..errors import SimulationError
-from ..structures.bitmap import Bitmap
-from ..structures.dll import CircularDll, DllNode
-from ..structures.sortedlist import SortedAddresses
 
 
 class FreeBlockList:
-    """Sorted circular doubly-linked free list with fast indexes."""
+    """Sorted free-block addresses in one flat list.
 
-    __slots__ = ("_dll", "_nodes", "_index")
+    A single container replaces the former DLL + dict + bisect-index
+    triple: bisection serves membership and ordered queries, and slice
+    splices serve the batched sibling-run operations (`add_run`,
+    `remove_group_run`) the split/coalesce paths use.  Addresses on one
+    list are all multiples of the list's block size, which is what makes
+    a sibling group a contiguous slice.
+    """
+
+    __slots__ = ("_items",)
 
     def __init__(self) -> None:
-        self._dll = CircularDll()
-        self._nodes: dict[int, DllNode] = {}
-        self._index = SortedAddresses()
+        self._items: list[int] = []
 
     def __len__(self) -> int:
-        return len(self._dll)
+        return len(self._items)
 
     def __contains__(self, address: int) -> bool:
-        return address in self._nodes
+        items = self._items
+        index = bisect_left(items, address)
+        return index < len(items) and items[index] == address
 
     def add(self, address: int) -> None:
         """Insert a free block (error if already present — double free)."""
-        if address in self._nodes:
+        items = self._items
+        index = bisect_left(items, address)
+        if index < len(items) and items[index] == address:
             raise SimulationError(f"block {address} already free")
-        node = DllNode(address)
-        # Place via the bisect index: O(log n) to find the predecessor,
-        # O(1) to link, versus the paper's linear walk.
-        predecessor = self._index.predecessor(address)
-        self._index.add(address)
-        if predecessor is None:
-            self._dll.insert(node)  # becomes head (or list was empty)
-        else:
-            self._dll.insert_after(self._nodes[predecessor], node)
-        self._nodes[address] = node
+        items.insert(index, address)
+
+    def add_run(self, start: int, step: int, count: int) -> None:
+        """Splice in ``count`` ascending addresses ``start, start+step, …``.
+
+        One bisect and one slice assignment, versus ``count`` separate
+        inserts.  The run's span must be disjoint from existing members
+        (its addresses are every multiple of ``step`` in the span, so any
+        overlap is a double free).
+        """
+        items = self._items
+        span_end = start + step * count
+        index = bisect_left(items, start)
+        if index < len(items) and items[index] < span_end:
+            raise SimulationError(f"block {items[index]} already free")
+        items[index:index] = range(start, span_end, step)
 
     def remove(self, address: int) -> None:
         """Remove a block known to be on the list."""
-        node = self._nodes.pop(address, None)
-        if node is None:
+        items = self._items
+        index = bisect_left(items, address)
+        if index >= len(items) or items[index] != address:
             raise SimulationError(f"block {address} not on free list")
-        self._dll.remove(node)
-        self._index.remove(address)
+        del items[index]
+
+    def remove_group_run(self, start: int, span: int, expected: int) -> bool:
+        """Remove all members in ``[start, start+span)`` iff exactly
+        ``expected`` are present; return whether they were removed.
+
+        The coalescing step: a sibling group is complete when every
+        sibling except the block being freed is on the list, i.e. when
+        the span holds exactly ``expected`` members.  One bisect pair and
+        one slice delete, versus per-sibling membership checks and
+        removals.
+        """
+        items = self._items
+        lo = bisect_left(items, start)
+        hi = bisect_left(items, start + span, lo)
+        if hi - lo != expected:
+            return False
+        del items[lo:hi]
+        return True
 
     def first(self) -> int | None:
         """Lowest free address, or None."""
-        return self._index.first()
+        items = self._items
+        return items[0] if items else None
 
     def first_at_or_after(self, address: int) -> int | None:
         """Lowest free address >= ``address``, or None."""
-        return self._index.successor(address)
+        items = self._items
+        index = bisect_left(items, address)
+        return items[index] if index < len(items) else None
 
     def first_in_range(self, low: int, high: int) -> int | None:
         """Lowest free address in ``[low, high)``, or None."""
-        candidate = self._index.successor(low)
-        if candidate is not None and candidate < high:
-            return candidate
+        items = self._items
+        index = bisect_left(items, low)
+        if index < len(items) and items[index] < high:
+            return items[index]
         return None
+
+    def count_in_range(self, low: int, high: int) -> int:
+        """Number of free addresses in ``[low, high)``."""
+        items = self._items
+        lo = bisect_left(items, low)
+        return bisect_left(items, high, lo) - lo
 
     def addresses(self) -> list[int]:
         """All free addresses in order."""
-        return list(self._index)
+        return list(self._items)
 
     def check_consistent(self) -> None:
-        """Verify DLL, dict, and index agree (test hook)."""
-        dll_keys = self._dll.keys()
-        if dll_keys != self.addresses():
-            raise SimulationError("DLL and index disagree")
-        if set(dll_keys) != set(self._nodes):
-            raise SimulationError("DLL and node dict disagree")
+        """Verify strict ascending order (test hook)."""
+        items = self._items
+        if any(b <= a for a, b in zip(items, items[1:])):
+            raise SimulationError("free list out of order")
 
 
 class LadderFreeStore:
@@ -100,14 +150,34 @@ class LadderFreeStore:
             next ("each block size is an integral multiple ... of all the
             smaller block sizes") and blocks of size N start at multiples
             of N.
+        region_units: when given, the store additionally maintains
+            per-region, per-size counts of free blocks (a block belongs
+            to region ``address // region_units``), serving the
+            restricted policy's "which region has a block of this size"
+            ring scans without probing each region's structures.
 
-    The store knows nothing about files, regions, or grow policies — it
-    answers "give me a free block of size s near address a" style queries
-    and keeps the buddy-coalescing invariant: a block appears on a free
-    list only if its enclosing next-size block is not entirely free.
+    The store knows nothing about files or grow policies — it answers
+    "give me a free block of size s near address a" style queries and
+    keeps the buddy-coalescing invariant: a block appears on a free list
+    only if its enclosing next-size block is not entirely free.
+
+    A ``capacity_units`` that is not a multiple of the largest ladder
+    size leaves a *partial tail* past the last maximum-size block.  The
+    bitmap covers only whole maximum-size blocks (``capacity // max``
+    slots); the tail is represented exactly, as the largest aligned
+    ladder blocks that fit, seeded onto the free lists at construction
+    (any residue smaller than the smallest block is unaddressable and
+    excluded from ``free_units``).  Tail blocks can never coalesce into
+    a phantom maximum-size block because the coalescing walk refuses any
+    sibling group extending past ``capacity_units``.
     """
 
-    def __init__(self, capacity_units: int, sizes: tuple[int, ...]) -> None:
+    def __init__(
+        self,
+        capacity_units: int,
+        sizes: tuple[int, ...],
+        region_units: int | None = None,
+    ) -> None:
         if not sizes or any(s <= 0 for s in sizes):
             raise SimulationError(f"bad ladder {sizes}")
         if list(sizes) != sorted(set(sizes)):
@@ -115,14 +185,34 @@ class LadderFreeStore:
         for small, large in zip(sizes, sizes[1:]):
             if large % small:
                 raise SimulationError(f"{small} does not divide {large}")
+        if region_units is not None and region_units <= 0:
+            raise SimulationError(f"region_units must be positive: {region_units}")
         self.capacity_units = capacity_units
         self.sizes = tuple(sizes)
         self.max_size = sizes[-1]
         self._size_index = {size: i for i, size in enumerate(sizes)}
         self._max_slots = capacity_units // self.max_size
-        self._bitmap = Bitmap(self._max_slots, all_set=True)
+        self._free_slots = self._max_slots  # set bits in the bitmap
+        self._bits = (1 << self._max_slots) - 1  # bit i set == max block i free
         self._lists: dict[int, FreeBlockList] = {s: FreeBlockList() for s in sizes[:-1]}
         self._free_units = self._max_slots * self.max_size
+        # Region summaries: _region_counts[size_index][region] counts free
+        # blocks of that size whose start address falls in the region.
+        # Maintained only when they can ever discriminate (>1 region).
+        self.region_units = region_units
+        if region_units is not None:
+            self.n_regions = -(-capacity_units // region_units)
+        else:
+            self.n_regions = 1
+        if self.n_regions > 1:
+            self._region_counts: list[list[int]] | None = [
+                [0] * self.n_regions for _ in self.sizes
+            ]
+            counts = self._region_counts[-1]
+            for slot in range(self._max_slots):
+                counts[(slot * self.max_size) // region_units] += 1
+        else:
+            self._region_counts = None
         self._seed_tail()
 
     def _seed_tail(self) -> None:
@@ -132,10 +222,61 @@ class LadderFreeStore:
         for size in reversed(self.sizes[:-1]):
             while remaining >= size and position % size == 0:
                 self._lists[size].add(position)
+                self._count_delta(self._size_index[size], position, 1)
                 position += size
                 remaining -= size
                 self._free_units += size
         # Any residue smaller than the smallest block is unaddressable.
+
+    # -- region summaries ---------------------------------------------------
+
+    def _count_delta(self, size_index: int, address: int, delta: int) -> None:
+        counts = self._region_counts
+        if counts is not None:
+            counts[size_index][address // self.region_units] += delta
+
+    def _count_run_delta(
+        self, size_index: int, start: int, step: int, count: int, delta: int
+    ) -> None:
+        """Count update for ``count`` blocks at ``start, start+step, …``."""
+        counts = self._region_counts
+        if counts is None:
+            return
+        region_units = self.region_units
+        first_region = start // region_units
+        last_region = (start + step * (count - 1)) // region_units
+        if first_region == last_region:
+            counts[size_index][first_region] += delta * count
+        else:
+            row = counts[size_index]
+            for address in range(start, start + step * count, step):
+                row[address // region_units] += delta
+
+    def region_has_exact(self, size: int, region: int) -> bool:
+        """True when the region holds a free block of exactly ``size``.
+
+        With region summaries enabled this is one array read; without
+        them there is a single region and the global structures answer.
+        """
+        counts = self._region_counts
+        if counts is not None:
+            return counts[self._size_index[size]][region] > 0
+        if size == self.max_size:
+            return self._free_slots > 0
+        return len(self._lists[size]) > 0
+
+    def region_has_splittable(self, size: int, region: int) -> bool:
+        """True when the region holds any free block *larger* than ``size``."""
+        counts = self._region_counts
+        start_index = self._size_index[size] + 1
+        if counts is not None:
+            return any(
+                counts[index][region] for index in range(start_index, len(self.sizes))
+            )
+        for larger in self.sizes[start_index:]:
+            if self.region_has_exact(larger, region):
+                return True
+        return False
 
     # -- queries ------------------------------------------------------------
 
@@ -160,34 +301,167 @@ class LadderFreeStore:
         """
         if size == self.max_size:
             return self._free_max_in(low, high, prefer)
-        free_list = self._lists[size]
-        if prefer is not None and prefer % size == 0:
-            if low <= prefer < high and prefer in free_list:
-                return prefer
+        # Hot path: operate on the list's backing array directly — one
+        # bisect per probe, no per-query method dispatch.
+        items = self._lists[size]._items
+        n_items = len(items)
         if prefer is not None:
-            candidate = free_list.first_at_or_after(max(prefer, low))
-            if candidate is not None and candidate < high:
-                return candidate
-        return free_list.first_in_range(low, high)
+            start = prefer if prefer >= low else low
+            index = bisect_left(items, start)
+            if index < n_items:
+                candidate = items[index]
+                if candidate == prefer and low <= prefer < high:
+                    return prefer  # prefer is free: contiguity wins
+                if candidate < high:
+                    return candidate
+        index = bisect_left(items, low)
+        if index < n_items and items[index] < high:
+            return items[index]
+        return None
 
     def _free_max_in(
         self, low: int, high: int, prefer: int | None
     ) -> int | None:
-        low_slot = -(-low // self.max_size)
-        high_slot = min(high // self.max_size, self._max_slots)
-        if prefer is not None and prefer % self.max_size == 0:
-            slot = prefer // self.max_size
-            if low_slot <= slot < high_slot and self._bitmap.test(slot):
+        max_size = self.max_size
+        low_slot = -(-low // max_size)
+        high_slot = min(high // max_size, self._max_slots)
+        if prefer is not None and prefer % max_size == 0:
+            slot = prefer // max_size
+            if low_slot <= slot < high_slot and (self._bits >> slot) & 1:
                 return prefer
-            found = self._bitmap.first_set_in_range(
-                max(slot, low_slot), high_slot
-            )
+            found = self._first_set_in_range(max(slot, low_slot), high_slot)
             if found is not None:
-                return found * self.max_size
-        found = self._bitmap.first_set_in_range(low_slot, high_slot)
+                return found * max_size
+        found = self._first_set_in_range(low_slot, high_slot)
         if found is None:
             return None
-        return found * self.max_size
+        return found * max_size
+
+    def _first_set_in_range(self, low_slot: int, high_slot: int) -> int | None:
+        """Lowest free bitmap slot in ``[low_slot, high_slot)``, or None.
+
+        One big-int shift + isolate-lowest-bit, regardless of width.
+        """
+        if low_slot >= high_slot:
+            return None
+        if low_slot < 0:
+            low_slot = 0
+        shifted = self._bits >> low_slot
+        if shifted == 0:
+            return None
+        slot = low_slot + (shifted & -shifted).bit_length() - 1
+        return slot if slot < high_slot else None
+
+    def take_in_region(
+        self, size: int, low: int, high: int, prefer: int | None = None
+    ) -> int | None:
+        """Find *and take* a free block of exactly ``size`` in ``[low, high)``.
+
+        Fused form of :meth:`free_exact` + :meth:`take` for the allocation
+        hot path: the bisect that finds the block also locates it for
+        removal, so a successful probe costs one search instead of two.
+        Same selection order as :meth:`free_exact`; returns the taken
+        address or None.
+        """
+        if size == self.max_size:
+            address = self._free_max_in(low, high, prefer)
+            if address is None:
+                return None
+            self._bits &= ~(1 << (address // size))
+            self._free_slots -= 1
+            counts = self._region_counts
+            if counts is not None:
+                counts[-1][address // self.region_units] -= 1
+            self._free_units -= size
+            return address
+        items = self._lists[size]._items
+        n_items = len(items)
+        index = -1
+        if prefer is not None:
+            probe = bisect_left(items, prefer if prefer >= low else low)
+            if probe < n_items and items[probe] < high:
+                index = probe
+        if index < 0:
+            probe = bisect_left(items, low)
+            if probe < n_items and items[probe] < high:
+                index = probe
+            else:
+                return None
+        address = items[index]
+        del items[index]
+        counts = self._region_counts
+        if counts is not None:
+            counts[self._size_index[size]][address // self.region_units] -= 1
+        self._free_units -= size
+        return address
+
+    def take_split_in_region(
+        self, size: int, low: int, high: int, prefer: int | None = None
+    ) -> int | None:
+        """Find a larger free block in range, split it, take ``size``.
+
+        Fused form of :meth:`splittable` + :meth:`take_split`: the bisect
+        that finds the smallest adequate larger block also locates it for
+        removal, and the split's sibling runs splice straight in.  Same
+        selection order as the unfused pair; returns the allocated
+        address or None when no larger block exists in range.
+        """
+        sizes = self.sizes
+        max_size = self.max_size
+        counts = self._region_counts
+        start_index = self._size_index[size] + 1
+        for larger_index in range(start_index, len(sizes)):
+            larger = sizes[larger_index]
+            if larger == max_size:
+                address = self._free_max_in(low, high, prefer)
+                if address is None:
+                    return None  # the ladder's last size: nothing anywhere
+                self._bits &= ~(1 << (address // max_size))
+                self._free_slots -= 1
+                if counts is not None:
+                    counts[-1][address // self.region_units] -= 1
+            else:
+                items = self._lists[larger]._items
+                n_items = len(items)
+                index = -1
+                if prefer is not None:
+                    probe = bisect_left(items, prefer if prefer >= low else low)
+                    if probe < n_items and items[probe] < high:
+                        index = probe
+                if index < 0:
+                    probe = bisect_left(items, low)
+                    if probe < n_items and items[probe] < high:
+                        index = probe
+                    else:
+                        continue
+                address = items[index]
+                del items[index]
+                if counts is not None:
+                    counts[larger_index][address // self.region_units] -= 1
+            self._free_units -= larger
+            for level in range(larger_index, start_index - 1, -1):
+                child = sizes[level - 1]
+                count = sizes[level] // child - 1
+                run_start = address + child
+                span_end = address + sizes[level]
+                # add_run, inlined: one bisect, one slice assignment.
+                items = self._lists[child]._items
+                probe = bisect_left(items, run_start)
+                if probe < len(items) and items[probe] < span_end:
+                    raise SimulationError(f"block {items[probe]} already free")
+                items[probe:probe] = range(run_start, span_end, child)
+                if counts is not None:
+                    region_units = self.region_units
+                    first = run_start // region_units
+                    row = counts[level - 1]
+                    if first == (span_end - child) // region_units:
+                        row[first] += count
+                    else:
+                        for member in range(run_start, span_end, child):
+                            row[member // region_units] += 1
+                self._free_units += child * count
+            return address
+        return None
 
     def splittable(
         self, size: int, low: int, high: int, prefer: int | None = None
@@ -213,83 +487,215 @@ class LadderFreeStore:
         if address % size:
             raise SimulationError(f"misaligned take: {address} % {size}")
         if size == self.max_size:
-            self._bitmap.clear(address // self.max_size)
+            slot = address // size
+            if not 0 <= slot < self._max_slots:
+                raise SimulationError(
+                    f"bit {slot} outside bitmap of {self._max_slots}"
+                )
+            mask = 1 << slot
+            if not self._bits & mask:
+                raise SimulationError(f"bit {slot} already clear")
+            self._bits &= ~mask
+            self._free_slots -= 1
+            counts = self._region_counts
+            if counts is not None:
+                counts[-1][address // self.region_units] -= 1
         else:
-            self._lists[size].remove(address)
+            items = self._lists[size]._items
+            index = bisect_left(items, address)
+            if index >= len(items) or items[index] != address:
+                raise SimulationError(f"block {address} not on free list")
+            del items[index]
+            counts = self._region_counts
+            if counts is not None:
+                counts[self._size_index[size]][address // self.region_units] -= 1
         self._free_units -= size
 
     def take_split(self, address: int, block_size: int, want_size: int) -> int:
         """Split a free ``block_size`` block, taking its leading ``want_size``.
 
         The unused pieces are returned to the appropriate free lists (no
-        coalescing needed: their siblings are what we just took).  Returns
+        coalescing needed: their siblings are what we just took), each
+        level's sibling run spliced in as one slice operation.  Returns
         the allocated address (== ``address``).
         """
         if block_size <= want_size:
             raise SimulationError("split target not larger than want size")
         self.take(address, block_size)
+        sizes = self.sizes
         current_index = self._size_index[block_size]
         want_index = self._size_index[want_size]
         for level in range(current_index, want_index, -1):
-            child = self.sizes[level - 1]
-            parent = self.sizes[level]
-            for sibling in range(address + child, address + parent, child):
-                self._lists[child].add(sibling)
-                self._free_units += child
+            child = sizes[level - 1]
+            parent = sizes[level]
+            count = parent // child - 1
+            self._lists[child].add_run(address + child, child, count)
+            counts = self._region_counts
+            if counts is not None:
+                self._count_run_delta(level - 1, address + child, child, count, 1)
+            self._free_units += child * count
         return address
 
     def release(self, address: int, size: int) -> None:
-        """Free a block, coalescing full sibling groups up the ladder."""
+        """Free a block, coalescing full sibling groups up the ladder.
+
+        The coalescing walk visits each rung once, and the single bisect
+        that locates ``address`` in the rung's free list does triple
+        duty: it answers the double-free check for the rung (is
+        ``address`` itself a member?), decides group completeness by
+        arithmetic on the insert position, and is reused as the insert
+        position when the walk stops — so the common release costs one
+        bisect, not a full pre-scan over the ladder plus a separate
+        insert search.
+
+        The one containment the walk cannot see is an *empty* span whose
+        whole group lies inside a free larger block; only that case
+        falls through to the upward scan in :meth:`_check_covering_free`.
+        This detects exactly the double frees the pre-scan did: a free
+        covering block at any larger size leaves zero members at every
+        rung below it, so the walk breaks on its first empty span (before
+        mutating anything) and the upward scan finds that covering.
+        """
         if address % size:
             raise SimulationError(f"misaligned release: {address} % {size}")
-        self._check_not_already_free(address, size)
+        sizes = self.sizes
+        max_size = self.max_size
+        counts = self._region_counts
+        if size == max_size:
+            slot = address // max_size
+            if not 0 <= slot < self._max_slots:
+                raise SimulationError(
+                    f"bit {slot} outside bitmap of {self._max_slots}"
+                )
+            mask = 1 << slot
+            if self._bits & mask:
+                raise SimulationError(
+                    f"double free: [{address}, {address + size}) lies in "
+                    f"free maximum block at {address}"
+                )
+            self._bits |= mask
+            self._free_slots += 1
+            if counts is not None:
+                counts[-1][address // self.region_units] += 1
+            self._free_units += size
+            return
         released_units = size  # net change: coalesced siblings were already free
+        capacity = self.capacity_units
         index = self._size_index[size]
-        while size != self.max_size:
-            parent = self.sizes[index + 1]
+        insert_at = 0
+        while size != max_size:
+            parent = sizes[index + 1]
             group_start = address - (address % parent)
-            if group_start + parent > self.capacity_units:
+            group_end = group_start + parent
+            # One bisect per rung.  Every list member is size-aligned and
+            # distinct, so whether the sibling group is complete follows
+            # arithmetically from the insert position: below it there
+            # must be exactly k = (address - group_start)/size entries
+            # starting at group_start, above it exactly m entries ending
+            # at group_end - size — pigeonhole then forces them to be
+            # precisely the k + m = ratio - 1 siblings.
+            items = self._lists[size]._items
+            n_items = len(items)
+            insert_at = bisect_left(items, address)
+            if insert_at < n_items and items[insert_at] == address:
+                raise SimulationError(
+                    f"double free: [{address}, {address + size}) lies in "
+                    f"free {size}-block at {address}"
+                )
+            if group_end > capacity:
                 break  # tail group is incomplete; cannot coalesce
-            free_list = self._lists[size]
-            siblings = [
-                sibling
-                for sibling in range(group_start, group_start + parent, size)
-                if sibling != address
-            ]
-            if not all(sibling in free_list for sibling in siblings):
+            k = (address - group_start) // size
+            m = (group_end - address) // size - 1
+            lo = insert_at - k
+            hi = insert_at + m
+            if (
+                lo < 0
+                or hi > n_items
+                or (k and items[lo] != group_start)
+                or (m and items[hi - 1] != group_end - size)
+            ):
+                # Incomplete group: no coalesce.  An *empty* span may
+                # mean the whole group lies inside a free larger block —
+                # the walk cannot see that, so finish the scan upward.
+                if (insert_at == 0 or items[insert_at - 1] < group_start) and (
+                    insert_at == n_items or items[insert_at] >= group_end
+                ):
+                    self._check_covering_free(address, size, index + 1)
                 break
-            for sibling in siblings:
-                free_list.remove(sibling)
+            del items[lo:hi]
+            if counts is not None:
+                # Count-run update, inlined: the whole group's counts go
+                # down, then the freed block (never counted) nets back.
+                region_units = self.region_units
+                first = group_start // region_units
+                row = counts[index]
+                if first == (group_end - size) // region_units:
+                    row[first] -= parent // size
+                else:
+                    for member in range(group_start, group_end, size):
+                        row[member // region_units] -= 1
+                row[address // region_units] += 1
             address = group_start
             size = parent
             index += 1
-        if size == self.max_size:
-            self._bitmap.set(address // self.max_size)
+        if size == max_size:
+            slot = address // max_size
+            mask = 1 << slot
+            if self._bits & mask:
+                raise SimulationError(f"bit {slot} already set")
+            self._bits |= mask
+            self._free_slots += 1
+            if counts is not None:
+                counts[-1][address // self.region_units] += 1
         else:
-            self._lists[size].add(address)
+            self._lists[size]._items.insert(insert_at, address)
+            if counts is not None:
+                counts[index][address // self.region_units] += 1
         self._free_units += released_units
 
-    def _check_not_already_free(self, address: int, size: int) -> None:
-        """Detect double frees: the block, or any block containing it,
-        must not already be free."""
-        for candidate in self.sizes:
-            if candidate < size:
-                continue
+    def _check_covering_free(
+        self, address: int, size: int, start_index: int
+    ) -> None:
+        """Raise if a free block at any ladder size >= ``start_index``
+        contains ``[address, address + size)`` (double free).
+
+        The suffix of the old full pre-scan: :meth:`release` calls this
+        only when a rung's sibling span is empty, the one case where the
+        coalescing walk itself cannot rule out a free covering block.
+        """
+        max_size = self.max_size
+        for candidate in self.sizes[start_index:]:
             covering = address - (address % candidate)
-            if candidate == self.max_size:
-                slot = covering // self.max_size
-                if slot < self._max_slots and self._bitmap.test(slot):
+            if candidate == max_size:
+                slot = covering // max_size
+                if slot < self._max_slots and (self._bits >> slot) & 1:
                     raise SimulationError(
                         f"double free: [{address}, {address + size}) lies in "
                         f"free maximum block at {covering}"
                     )
-            elif covering in self._lists[candidate]:
-                raise SimulationError(
-                    f"double free: [{address}, {address + size}) lies in "
-                    f"free {candidate}-block at {covering}"
-                )
+            else:
+                items = self._lists[candidate]._items
+                probe = bisect_left(items, covering)
+                if probe < len(items) and items[probe] == covering:
+                    raise SimulationError(
+                        f"double free: [{address}, {address + size}) lies in "
+                        f"free {candidate}-block at {covering}"
+                    )
 
     # -- validation -----------------------------------------------------------
+
+    def _set_slots(self) -> list[int]:
+        """All set (free) bitmap slot numbers, via the big-int fast path."""
+        result = []
+        bits = self._bits
+        position = 0
+        while bits:
+            lowest = bits & -bits
+            index = position + lowest.bit_length() - 1
+            result.append(index)
+            bits >>= index - position + 1
+            position = index + 1
+        return result
 
     def snapshot(self) -> dict:
         """JSON-safe rendering of the free structures (fingerprint hook).
@@ -299,11 +705,7 @@ class LadderFreeStore:
         """
         return {
             "free_units": self._free_units,
-            "max_slots": [
-                slot
-                for slot in range(self._max_slots)
-                if self._bitmap.test(slot)
-            ],
+            "max_slots": self._set_slots(),
             "lists": {
                 str(size): self._lists[size].addresses()
                 for size in self.sizes[:-1]
@@ -312,8 +714,10 @@ class LadderFreeStore:
         }
 
     def check_invariants(self) -> None:
-        """Verify alignment, accounting, and the coalescing invariant."""
-        total = self._bitmap.set_count * self.max_size
+        """Verify alignment, accounting, coalescing, and region summaries."""
+        if self._free_slots != bin(self._bits).count("1"):
+            raise SimulationError("bitmap set count out of sync")
+        total = self._free_slots * self.max_size
         for size, free_list in self._lists.items():
             free_list.check_consistent()
             for address in free_list.addresses():
@@ -339,3 +743,14 @@ class LadderFreeStore:
                     raise SimulationError(
                         f"uncoalesced sibling group at {group} size {size}"
                     )
+        # Region summaries must agree with a from-scratch recount.
+        if self._region_counts is not None:
+            recount = [[0] * self.n_regions for _ in self.sizes]
+            for slot in self._set_slots():
+                recount[-1][(slot * self.max_size) // self.region_units] += 1
+            for size, free_list in self._lists.items():
+                row = recount[self._size_index[size]]
+                for address in free_list.addresses():
+                    row[address // self.region_units] += 1
+            if recount != self._region_counts:
+                raise SimulationError("region summaries out of sync")

@@ -25,14 +25,16 @@ class FragmentationReport:
         external_fraction: free / total capacity.
         allocated_units: units allocated when measured.
         used_units: units actually holding file bytes (plus descriptors,
-            which are fully used by definition).
+            which are fully used by definition).  Fractional: partially
+            filled units carry their exact fill so that
+            ``internal_fraction`` can be recomputed from this field.
         capacity_units: address-space size.
     """
 
     internal_fraction: float
     external_fraction: float
     allocated_units: int
-    used_units: int
+    used_units: float
     capacity_units: int
 
     @property
@@ -71,10 +73,12 @@ def measure_fragmentation(
         used += min(float(data_units), used_units_by_file.get(file_id, 0.0))
     internal = (allocated - used) / allocated if allocated else 0.0
     external = allocator.free_units / allocator.capacity_units
+    # Carry the float: truncating here made used_units disagree with the
+    # internal_fraction computed from the exact value.
     return FragmentationReport(
         internal_fraction=internal,
         external_fraction=external,
         allocated_units=allocated,
-        used_units=int(used),
+        used_units=used,
         capacity_units=allocator.capacity_units,
     )

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ConfigurationError
+from ..errors import AllocatorStateError, ConfigurationError, SimulationError
 from ..sim.rng import RandomStream
 from ..units import KIB, MIB, parse_size
 from .base import AllocFile, Allocator, Extent
@@ -108,7 +108,11 @@ class RestrictedBuddyAllocator(Allocator):
     ) -> None:
         super().__init__(capacity_units, rng)
         self.config = config
-        self.store = LadderFreeStore(capacity_units, config.block_sizes_units)
+        self.store = LadderFreeStore(
+            capacity_units,
+            config.block_sizes_units,
+            region_units=config.region_units if config.clustered else None,
+        )
         if config.clustered:
             self._region_units = config.region_units
         else:
@@ -128,14 +132,6 @@ class RestrictedBuddyAllocator(Allocator):
     def _region_bounds(self, region: int) -> tuple[int, int]:
         low = region * self._region_units
         return low, min(low + self._region_units, self.capacity_units)
-
-    def _optimal_region_for_data(self, handle: AllocFile) -> int:
-        state = handle.policy_state
-        if state.get("prev_end") is not None:
-            return self._region_of(state["prev_end"] - 1)
-        if handle.descriptor is not None:
-            return self._region_of(handle.descriptor.start)
-        return self._last_satisfied_region
 
     # -- the block hunt ------------------------------------------------------------
 
@@ -161,9 +157,13 @@ class RestrictedBuddyAllocator(Allocator):
             return split
 
         # Step 2: any region with a block of the correct size, scanning
-        # from the next region around the ring.
+        # from the next region around the ring.  The store's per-region
+        # summaries answer "does this region even have one" in O(1), so
+        # only candidate regions pay for a real range query.
         for distance in range(1, self._n_regions):
             region = (optimal_region + distance) % self._n_regions
+            if not store.region_has_exact(size, region):
+                continue
             region_low, region_high = self._region_bounds(region)
             address = store.free_exact(size, region_low, region_high, None)
             if address is not None:
@@ -172,6 +172,8 @@ class RestrictedBuddyAllocator(Allocator):
         # Step 3: next region with available space — split a larger block.
         for distance in range(1, self._n_regions):
             region = (optimal_region + distance) % self._n_regions
+            if not store.region_has_splittable(size, region):
+                continue
             region_low, region_high = self._region_bounds(region)
             split = store.splittable(size, region_low, region_high, None)
             if split is not None:
@@ -182,30 +184,56 @@ class RestrictedBuddyAllocator(Allocator):
     def _allocate_block(
         self, size: int, optimal_region: int, prefer: int | None
     ) -> int:
-        address, found_size = self._find_block(size, optimal_region, prefer)
-        if found_size == size:
-            self.store.take(address, size)
-        else:
-            self.store.take_split(address, found_size, size)
-        self._last_satisfied_region = self._region_of(address)
+        """Hot-path form of :meth:`_find_block` that also takes the block.
+
+        Same three-step search order, but each probe uses the store's
+        fused find-and-take methods so a hit costs one search instead of
+        a find followed by a re-locating take.  :meth:`_find_block` stays
+        as the non-mutating query form; the differential tests hold the
+        two to identical decisions via the reference store.
+        """
+        store = self.store
+        region_units = self._region_units
+        capacity = self.capacity_units
+        low = optimal_region * region_units
+        high = low + region_units
+        if high > capacity:
+            high = capacity
+        # Step 1: exact block in the optimal region, contiguity first;
+        # then an in-region split of a larger block.
+        address = store.take_in_region(size, low, high, prefer)
+        if address is None:
+            address = store.take_split_in_region(size, low, high, prefer)
+        if address is None:
+            # Step 2: any region with an exact-size block, ring order.
+            n_regions = self._n_regions
+            for distance in range(1, n_regions):
+                region = (optimal_region + distance) % n_regions
+                if not store.region_has_exact(size, region):
+                    continue
+                region_low = region * region_units
+                region_high = min(region_low + region_units, capacity)
+                address = store.take_in_region(size, region_low, region_high)
+                if address is not None:
+                    break
+        if address is None:
+            # Step 3: next region with available space — split there.
+            n_regions = self._n_regions
+            for distance in range(1, n_regions):
+                region = (optimal_region + distance) % n_regions
+                if not store.region_has_splittable(size, region):
+                    continue
+                region_low = region * region_units
+                region_high = min(region_low + region_units, capacity)
+                address = store.take_split_in_region(size, region_low, region_high)
+                if address is not None:
+                    break
+        if address is None:
+            raise self._fail(size)
+        self._last_satisfied_region = address // region_units
         return address
 
     # -- grow policy ---------------------------------------------------------------
-
-    def _current_tier(self, handle: AllocFile) -> int:
-        return handle.policy_state.get("tier", 0)
-
-    def _advance_tier_if_due(self, handle: AllocFile) -> None:
-        """Apply the grow rule after an allocation at the current tier."""
-        sizes = self.config.block_sizes_units
-        state = handle.policy_state
-        tier = state.get("tier", 0)
-        if tier >= len(sizes) - 1:
-            return
-        threshold = self.config.grow_factor * sizes[tier + 1]
-        if state.get("tier_units", 0) >= threshold:
-            state["tier"] = tier + 1
-            state["tier_units"] = 0
 
     def _retier_after_truncate(self, handle: AllocFile) -> None:
         """Recompute tier state from the surviving extents."""
@@ -242,31 +270,67 @@ class RestrictedBuddyAllocator(Allocator):
         return Extent(address, smallest)
 
     def _extend(self, handle: AllocFile, n_units: int) -> list[Extent]:
+        # The hot loop: tier, tier_units, and prev_end live in locals and
+        # are written back once on success.  On failure the rollback
+        # recomputes them from the surviving extents (which never include
+        # ``added``), so deferring the writes cannot change the outcome.
         sizes = self.config.block_sizes_units
+        grow_factor = self.config.grow_factor
+        region_units = self._region_units
+        capacity = self.capacity_units
+        store = self.store
+        take_in_region = store.take_in_region
+        last_tier = len(sizes) - 1
         state = handle.policy_state
+        tier = state.get("tier", 0)
+        tier_units = state.get("tier_units", 0)
+        prev_end = state.get("prev_end")
+        descriptor = handle.descriptor
         added: list[Extent] = []
         try:
             remaining = n_units
             while remaining > 0:
-                tier = state.get("tier", 0)
                 size = sizes[tier]
-                optimal = self._optimal_region_for_data(handle)
-                prefer = state.get("prev_end")
-                if prefer is None and handle.descriptor is not None:
+                if prev_end is not None:
+                    optimal = (prev_end - 1) // region_units
+                    prefer = prev_end
+                elif descriptor is not None:
+                    optimal = descriptor.start // region_units
                     # First data block: near the descriptor is "close to
                     # related blocks (meta data)".
-                    prefer = handle.descriptor.end
-                address = self._allocate_block(size, optimal, prefer)
+                    prefer = descriptor.end
+                else:
+                    optimal = self._last_satisfied_region
+                    prefer = None
+                # Step 1's exact-block probe, inlined: a take-in-region
+                # hit (the common case — contiguity usually holds) skips
+                # the _allocate_block call entirely; any miss falls into
+                # the full three-step search, whose own step-1 re-probe
+                # is a no-op repeat of this failed one.
+                low = optimal * region_units
+                high = low + region_units
+                if high > capacity:
+                    high = capacity
+                address = take_in_region(size, low, high, prefer)
+                if address is None:
+                    address = self._allocate_block(size, optimal, prefer)
+                else:
+                    self._last_satisfied_region = address // region_units
                 added.append(Extent(address, size))
-                state["prev_end"] = address + size
-                state["tier_units"] = state.get("tier_units", 0) + size
-                self._advance_tier_if_due(handle)
+                prev_end = address + size
+                tier_units += size
+                if tier < last_tier and tier_units >= grow_factor * sizes[tier + 1]:
+                    tier += 1
+                    tier_units = 0
                 remaining -= size
         except Exception:
             for extent in reversed(added):
                 self.store.release(extent.start, extent.length)
             self._retier_after_truncate(handle)
             raise
+        state["tier"] = tier
+        state["tier_units"] = tier_units
+        state["prev_end"] = prev_end
         return added
 
     def _release_extent(self, handle: AllocFile, extent: Extent) -> None:
@@ -283,6 +347,34 @@ class RestrictedBuddyAllocator(Allocator):
         if freed:
             self._retier_after_truncate(handle)
         return freed
+
+    def delete(self, handle: AllocFile) -> None:
+        """Free all data extents and the descriptor; retire the file.
+
+        Same contract and same per-extent ordering as the base
+        implementation, with the release-hook indirection inlined to the
+        store — one call per extent instead of two on the churn-heavy
+        path (this policy's release hooks add nothing over the store
+        call, so the shortcut cannot change behaviour).
+        """
+        self._check_live(handle)
+        release = self.store.release
+        try:
+            for extent in reversed(handle.extents):
+                release(extent.start, extent.length)
+                self._allocated_units -= extent.length
+            handle.extents.clear()
+            descriptor = handle.descriptor
+            if descriptor is not None:
+                release(descriptor.start, descriptor.length)
+                self._allocated_units -= descriptor.length
+                handle.descriptor = None
+        except AllocatorStateError:
+            raise
+        except SimulationError as error:
+            raise self._wrap_state_error("delete", error) from error
+        handle.deleted = True
+        del self.files[handle.file_id]
 
     # -- introspection ----------------------------------------------------------
 

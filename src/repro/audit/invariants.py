@@ -219,7 +219,16 @@ class InvariantAuditor:
                 "allocated_units": allocator.allocated_units,
                 "capacity_units": allocator.capacity_units,
                 "live_files": len(allocator.files),
+                "failed_requests": allocator.failed_requests,
             }
+            # Policies with auxiliary free structures (the restricted
+            # ladder store) report their own free-unit accounting too —
+            # a conservation violation's excerpt then shows both sides
+            # of the mismatch, not just the allocator's ledger.
+            store = getattr(allocator, "store", None)
+            free_units = getattr(store, "free_units", None)
+            if free_units is not None:
+                excerpt["alloc"]["store_free_units"] = free_units
         array = self.array
         if array is not None:
             excerpt["disk"] = [

@@ -27,6 +27,28 @@ class AllocationError(ReproError):
     """Base class for allocation failures."""
 
 
+class AllocatorStateError(SimulationError):
+    """An allocator's internal structures were driven into a bad state.
+
+    Wraps the low-level :class:`SimulationError` raised deep in the free
+    structures (``"block N already free"`` and kin) with the policy and
+    the allocation operation that triggered it, so a failure surfacing
+    from a long fuzz or sweep run is attributable without a debugger.
+
+    Attributes:
+        policy: the allocator's ``name``.
+        op: the public allocator operation running (``"create"``,
+            ``"extend"``, ``"truncate"``, ``"delete"``).
+        original: the underlying error.
+    """
+
+    def __init__(self, policy: str, op: str, original: SimulationError) -> None:
+        self.policy = policy
+        self.op = op
+        self.original = original
+        super().__init__(f"[{policy}/{op}] {original}")
+
+
 class DiskFullError(AllocationError):
     """An allocation request could not be satisfied.
 

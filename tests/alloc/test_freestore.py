@@ -179,3 +179,71 @@ def test_property_ladder_conservation(script):
                     live.append((address, size))
         store.check_invariants()
     assert store.free_units + sum(size for _, size in live) == 512
+
+
+class TestRaggedCapacityTail:
+    """``capacity_units`` not a multiple of the largest ladder size.
+
+    The bitmap covers only whole maximum-size blocks; the partial tail is
+    seeded onto the free lists as the largest aligned blocks that fit,
+    and any residue below the smallest block size is unaddressable.
+    These tests pin that representation (the alternative — rejecting the
+    config — was considered and not taken: ragged capacities arise from
+    real disk geometries and the representation is exact).
+    """
+
+    def test_construction_accounts_for_tail(self):
+        # capacity 100, ladder (8, 64): one max block (64), tail 64..100
+        # seeds four 8-blocks (64, 72, 80, 88, 96 would overrun: 96+8=104)
+        # -> 64 + 4*8 = 96 free; residue 100 % 8 = 4 unaddressable.
+        store = LadderFreeStore(100, (8, 64))
+        assert store.free_units == 96
+        snap = store.snapshot()
+        assert snap["max_slots"] == [0]
+        assert snap["lists"] == {"8": [64, 72, 80, 88]}
+        store.check_invariants()
+
+    def test_tail_smaller_than_smallest_block_is_excluded(self):
+        # capacity 68, ladder (8, 64): tail of 4 units is unaddressable.
+        store = LadderFreeStore(68, (8, 64))
+        assert store.free_units == 64
+        assert store.snapshot()["lists"] == {}
+        store.check_invariants()
+
+    def test_tail_blocks_allocate_and_release(self):
+        store = LadderFreeStore(100, (8, 64))
+        found = store.free_exact(8, 64, 100)
+        assert found == 64
+        store.take(found, 8)
+        assert store.free_units == 88
+        store.check_invariants()
+        store.release(found, 8)
+        assert store.free_units == 96
+        store.check_invariants()
+
+    def test_tail_group_never_coalesces_into_phantom_max_block(self):
+        # Free every tail block: they must stay 8-blocks — coalescing to
+        # a 64-block at 64 would claim units 64..128 past capacity 100.
+        store = LadderFreeStore(100, (8, 64))
+        for address in (64, 72, 80, 88):
+            store.take(address, 8)
+        for address in (64, 72, 80, 88):
+            store.release(address, 8)
+        snap = store.snapshot()
+        assert snap["lists"] == {"8": [64, 72, 80, 88]}
+        assert snap["max_slots"] == [0]
+        store.check_invariants()
+
+    def test_double_free_detected_in_tail(self):
+        store = LadderFreeStore(100, (8, 64))
+        with pytest.raises(SimulationError, match="double free"):
+            store.release(72, 8)
+
+    def test_matches_reference_on_ragged_capacity(self):
+        from repro.alloc.reference import ReferenceLadderFreeStore
+
+        for capacity in (68, 100, 127, 129, 1000):
+            store = LadderFreeStore(capacity, (1, 8, 64))
+            reference = ReferenceLadderFreeStore(capacity, (1, 8, 64))
+            assert store.snapshot() == reference.snapshot(), capacity
+            assert store.free_units == capacity  # smallest size is 1

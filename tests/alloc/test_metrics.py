@@ -38,6 +38,34 @@ class TestInternalFragmentation:
         assert report.external_fraction == 1.0
 
 
+class TestReportSelfConsistency:
+    def test_used_units_carries_fraction(self):
+        """Fractional fills must survive into ``used_units`` — truncation
+        made the reported count disagree with ``internal_fraction``."""
+        allocator = FixedBlockAllocator(1000, 4)
+        handle = allocator.create()
+        allocator.extend(handle, 4)
+        report = measure_fragmentation(allocator, {handle.file_id: 2.5})
+        # data: 4 allocated, 2.5 used; descriptor: 4 allocated, 4 used.
+        assert report.used_units == pytest.approx(6.5)
+        assert report.internal_fraction == pytest.approx(
+            (report.allocated_units - report.used_units) / report.allocated_units
+        )
+
+    def test_internal_fraction_recomputable_from_fields(self):
+        allocator = FixedBlockAllocator(1000, 4)
+        handles = [allocator.create() for _ in range(3)]
+        fills = {}
+        for index, handle in enumerate(handles):
+            allocator.extend(handle, 4)
+            fills[handle.file_id] = 0.3 + index  # 0.3, 1.3, 2.3
+        report = measure_fragmentation(allocator, fills)
+        recomputed = (
+            report.allocated_units - report.used_units
+        ) / report.allocated_units
+        assert report.internal_fraction == pytest.approx(recomputed, abs=0.0)
+
+
 class TestExternalFragmentation:
     def test_external_is_free_over_capacity(self):
         allocator = FixedBlockAllocator(1000, 4)

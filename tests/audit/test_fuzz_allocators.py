@@ -62,3 +62,47 @@ def test_allocation_to_failure_is_violation_free(policy, workload, seed):
     # Reaching here means every sweep passed; sanity-check the run did
     # real work before its first failure.
     assert result.file_count > 0
+
+
+class TestFailurePathAttribution:
+    """When an allocator *does* blow up, the error must name the policy
+    and the public operation — a bare "block N already free" surfacing
+    from a 54-config grid is unattributable."""
+
+    def _restricted(self):
+        from repro.alloc.restricted import (
+            RestrictedBuddyAllocator,
+            RestrictedBuddyConfig,
+        )
+
+        config = RestrictedBuddyConfig(block_sizes_units=(1, 8, 64))
+        return RestrictedBuddyAllocator(10_000, config)
+
+    def test_structural_error_carries_policy_and_op(self):
+        from repro.errors import AllocatorStateError, SimulationError
+
+        allocator = self._restricted()
+        handle = allocator.create()
+        allocator.extend(handle, 8)
+        # Corrupt the handle: duplicate its extent so delete frees twice.
+        handle.extents.append(handle.extents[0])
+        with pytest.raises(AllocatorStateError) as excinfo:
+            allocator.delete(handle)
+        error = excinfo.value
+        assert error.policy == "restricted-buddy"
+        assert error.op == "delete"
+        assert isinstance(error.original, SimulationError)
+        assert "double free" in str(error.original)
+        assert "[restricted-buddy/delete]" in str(error)
+
+    def test_wrapped_error_not_double_wrapped(self):
+        from repro.errors import AllocatorStateError
+
+        allocator = self._restricted()
+        handle = allocator.create()
+        allocator.extend(handle, 8)
+        handle.extents.append(handle.extents[0])
+        with pytest.raises(AllocatorStateError) as excinfo:
+            allocator.delete(handle)
+        assert not isinstance(excinfo.value.original, AllocatorStateError)
+        assert str(excinfo.value).count("[restricted-buddy") == 1
