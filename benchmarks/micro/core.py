@@ -15,12 +15,14 @@ from typing import Any, Callable
 from repro.alloc.base import Allocator
 from repro.core.configs import (
     BuddyPolicy,
+    ExperimentConfig,
     ExtentPolicy,
     FfsPolicy,
     FixedPolicy,
     LogStructuredPolicy,
     PolicyConfig,
     RestrictedPolicy,
+    SystemConfig,
 )
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import WREN_IV
@@ -211,6 +213,78 @@ def bench_alloc_churn(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
     return _bench_policy_churn(RestrictedPolicy(), scale, repeats)
 
 
+# ---------------------------------------------------------------------------
+# experiment_point — end-to-end application-phase experiment
+# ---------------------------------------------------------------------------
+
+#: System scale for the macro benchmark points.  Small enough that one
+#: repeat stays in benchmark territory, large enough that the TS file
+#: population (the delete-churn scan victim) numbers in the thousands.
+_POINT_SYSTEM_SCALE = 0.05
+
+
+def _bench_experiment_point(
+    workload: str, cap_ms: float, scale: float, repeats: int
+) -> dict[str, Any]:
+    """One full application-phase performance point, measured end to end.
+
+    Unlike the microbenchmarks above, this times the whole experiment
+    path — populate, prefill, warm-up, and the timed application phase
+    through the workload driver, file system, allocator, and disk array —
+    and reports workload operations completed per wall-clock second.
+    The simulated-time cap is deliberately NOT scaled down for CI: the
+    fixed populate cost is amortized over the capped run, so shrinking
+    the cap would change the ops/sec a run reports and make the CI-scale
+    ``--check`` comparison against the committed full-scale record
+    meaningless.  ``scale`` instead trims the repeat count (the whole
+    point is only a few seconds per repeat at this system scale).
+    """
+    from repro.core.experiments import run_performance_experiment
+
+    app_cap = cap_ms
+    if scale < 1.0:
+        repeats = max(1, round(repeats * scale))
+
+    def run() -> tuple[int, float]:
+        config = ExperimentConfig(
+            policy=RestrictedPolicy(),
+            workload=workload,
+            system=SystemConfig(scale=_POINT_SYSTEM_SCALE),
+        )
+        start = time.perf_counter()
+        result = run_performance_experiment(
+            config,
+            app_cap_ms=app_cap,
+            warmup_ms=1_000.0,
+            run_sequential=False,
+        )
+        elapsed = time.perf_counter() - start
+        return sum(result.operation_counts.values()), elapsed
+
+    ops, seconds = _best_of(repeats, run)
+    return {
+        "metric": "ops_per_sec",
+        "value": ops / seconds,
+        "work": ops,
+        "best_s": seconds,
+    }
+
+
+def bench_experiment_point(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """Tiny TS application-phase point (the delete-churn hot path)."""
+    return _bench_experiment_point("TS", 60_000.0, scale, repeats)
+
+
+def bench_experiment_point_tp(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """TP variant: small-file random I/O against a fixed population."""
+    return _bench_experiment_point("TP", 60_000.0, scale, repeats)
+
+
+def bench_experiment_point_sc(scale: float = 1.0, repeats: int = 3) -> dict[str, Any]:
+    """SC variant: large sequential bursts (array transfer path heavy)."""
+    return _bench_experiment_point("SC", 60_000.0, scale, repeats)
+
+
 #: The per-policy churn variants (``alloc_churn`` itself is restricted).
 _CHURN_POLICIES: dict[str, PolicyConfig] = {
     "alloc_churn_buddy": BuddyPolicy(),
@@ -235,6 +309,9 @@ BENCHMARKS: dict[str, Callable[[float, int], dict[str, Any]]] = {
     "alloc_churn": bench_alloc_churn,
     **{name: _make_policy_bench(policy)
        for name, policy in _CHURN_POLICIES.items()},
+    "experiment_point": bench_experiment_point,
+    "experiment_point_tp": bench_experiment_point_tp,
+    "experiment_point_sc": bench_experiment_point_sc,
 }
 
 

@@ -177,7 +177,8 @@ class Allocator(abc.ABC):
             DiskFullError: the request cannot be satisfied; the file is
                 left unchanged (no partial allocations survive a failure).
         """
-        self._check_live(handle)
+        if handle.deleted or handle.file_id not in self.files:
+            raise FileSystemError(f"file {handle.file_id} is not live")
         if n_units <= 0:
             raise FileSystemError(f"extend by non-positive size: {n_units}")
         self.allocation_requests += 1

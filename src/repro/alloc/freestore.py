@@ -463,6 +463,99 @@ class LadderFreeStore:
             return address
         return None
 
+    def take_run_in_region(
+        self,
+        size: int,
+        low: int,
+        high: int,
+        prefer: int | None,
+        max_blocks: int,
+    ) -> tuple[int, int] | None:
+        """Take a run of up to ``max_blocks`` consecutive same-size blocks.
+
+        The first block is chosen exactly as :meth:`take_in_region`
+        chooses it (the preferred address when free, else the nearest
+        block at or after it, else the first in ``[low, high)``); the run
+        then extends over immediately adjacent free blocks while they
+        start below ``high``.  Returns ``(start, count)`` or None when
+        the region holds no exact-size block.
+
+        This is the sequential-contiguity streak, batched: block by
+        block, the caller's next preferred address would be exactly the
+        previous block's end, so each adjacent free block taken here is
+        the block a :meth:`take_in_region` loop would have taken — at one
+        bisect and one list splice (or one big-int mask) for the whole
+        run instead of a bisect and an O(n) element delete per block.
+        """
+        counts = self._region_counts
+        if size == self.max_size:
+            # Bitmap ladder rung: mirror _free_max_in's probe order, then
+            # clear the whole run of consecutive set bits with one mask.
+            low_slot = -(-low // size)
+            high_slot = min(high // size, self._max_slots)
+            bits = self._bits
+            slot = -1
+            if prefer is not None and prefer % size == 0:
+                pslot = prefer // size
+                if low_slot <= pslot < high_slot and (bits >> pslot) & 1:
+                    slot = pslot
+                else:
+                    found = self._first_set_in_range(
+                        pslot if pslot > low_slot else low_slot, high_slot
+                    )
+                    if found is not None:
+                        slot = found
+            if slot < 0:
+                found = self._first_set_in_range(low_slot, high_slot)
+                if found is None:
+                    return None
+                slot = found
+            shifted = bits >> slot
+            inverted = ~shifted
+            run = (inverted & -inverted).bit_length() - 1
+            taken = min(max_blocks, high_slot - slot, run)
+            self._bits = bits & ~(((1 << taken) - 1) << slot)
+            self._free_slots -= taken
+            start = slot * size
+        else:
+            items = self._lists[size]._items
+            n_items = len(items)
+            index = -1
+            if prefer is not None:
+                probe = bisect_left(items, prefer if prefer >= low else low)
+                if probe < n_items and items[probe] < high:
+                    index = probe
+            if index < 0:
+                probe = bisect_left(items, low)
+                if probe < n_items and items[probe] < high:
+                    index = probe
+                else:
+                    return None
+            start = items[index]
+            taken = 1
+            expected = start + size
+            limit = max_blocks if max_blocks < n_items - index else n_items - index
+            while (
+                taken < limit
+                and expected < high
+                and items[index + taken] == expected
+            ):
+                taken += 1
+                expected += size
+            del items[index:index + taken]
+        if counts is not None:
+            region_units = self.region_units
+            row = counts[self._size_index[size]]
+            first = start // region_units
+            last = (start + (taken - 1) * size) // region_units
+            if first == last:
+                row[first] -= taken
+            else:
+                for address in range(start, start + taken * size, size):
+                    row[address // region_units] -= 1
+        self._free_units -= taken * size
+        return start, taken
+
     def splittable(
         self, size: int, low: int, high: int, prefer: int | None = None
     ) -> tuple[int, int] | None:

@@ -225,6 +225,35 @@ class ReferenceLadderFreeStore:
             return None
         return self.take_split(found[0], found[1], size)
 
+    def take_run_in_region(
+        self,
+        size: int,
+        low: int,
+        high: int,
+        prefer: int | None,
+        max_blocks: int,
+    ) -> tuple[int, int] | None:
+        """Take a run of consecutive exact-size blocks (reference form).
+
+        Compositional mirror of the production store's batched streak:
+        one find-and-take for the first block, then repeated probes that
+        stop the moment a probe would not land exactly on the previous
+        block's end.  Returns ``(start, count)`` or None.
+        """
+        start = self.take_in_region(size, low, high, prefer)
+        if start is None:
+            return None
+        taken = 1
+        expected = start + size
+        while taken < max_blocks:
+            found = self.free_exact(size, low, high, expected)
+            if found != expected:
+                break
+            self.take(expected, size)
+            taken += 1
+            expected += size
+        return start, taken
+
     # -- mutation ------------------------------------------------------------
 
     def take(self, address: int, size: int) -> None:

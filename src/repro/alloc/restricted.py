@@ -119,6 +119,18 @@ class RestrictedBuddyAllocator(Allocator):
             self._region_units = capacity_units  # one region == no clustering
         self._n_regions = -(-capacity_units // self._region_units)
         self._last_satisfied_region = 0
+        # Everything _extend reads per call that cannot change after
+        # construction (config is a frozen dataclass; capacity is fixed
+        # here), packed so the hot loop pays one attribute lookup and a
+        # tuple unpack instead of six lookups.  The store is deliberately
+        # NOT cached: tests swap in a shadow store after construction.
+        self._extend_hot = (
+            config.block_sizes_units,
+            config.grow_factor,
+            self._region_units,
+            capacity_units,
+            len(config.block_sizes_units) - 1,
+        )
         # Tier bookkeeping lives in handle.policy_state:
         #   "tier": index into the ladder of the current allocation size
         #   "tier_units": units allocated at that tier so far
@@ -182,7 +194,12 @@ class RestrictedBuddyAllocator(Allocator):
         raise self._fail(size)
 
     def _allocate_block(
-        self, size: int, optimal_region: int, prefer: int | None
+        self,
+        size: int,
+        optimal_region: int,
+        prefer: int | None,
+        *,
+        skip_exact_probe: bool = False,
     ) -> int:
         """Hot-path form of :meth:`_find_block` that also takes the block.
 
@@ -191,6 +208,10 @@ class RestrictedBuddyAllocator(Allocator):
         a find followed by a re-locating take.  :meth:`_find_block` stays
         as the non-mutating query form; the differential tests hold the
         two to identical decisions via the reference store.
+
+        ``skip_exact_probe`` lets a caller whose own exact-block probe of
+        the optimal region just missed (take_run_in_region returning None
+        implies take_in_region would too) skip step 1's repeat of it.
         """
         store = self.store
         region_units = self._region_units
@@ -201,7 +222,11 @@ class RestrictedBuddyAllocator(Allocator):
             high = capacity
         # Step 1: exact block in the optimal region, contiguity first;
         # then an in-region split of a larger block.
-        address = store.take_in_region(size, low, high, prefer)
+        address = (
+            None
+            if skip_exact_probe
+            else store.take_in_region(size, low, high, prefer)
+        )
         if address is None:
             address = store.take_split_in_region(size, low, high, prefer)
         if address is None:
@@ -274,13 +299,8 @@ class RestrictedBuddyAllocator(Allocator):
         # are written back once on success.  On failure the rollback
         # recomputes them from the surviving extents (which never include
         # ``added``), so deferring the writes cannot change the outcome.
-        sizes = self.config.block_sizes_units
-        grow_factor = self.config.grow_factor
-        region_units = self._region_units
-        capacity = self.capacity_units
-        store = self.store
-        take_in_region = store.take_in_region
-        last_tier = len(sizes) - 1
+        sizes, grow_factor, region_units, capacity, last_tier = self._extend_hot
+        take_run_in_region = self.store.take_run_in_region
         state = handle.policy_state
         tier = state.get("tier", 0)
         tier_units = state.get("tier_units", 0)
@@ -302,27 +322,55 @@ class RestrictedBuddyAllocator(Allocator):
                 else:
                     optimal = self._last_satisfied_region
                     prefer = None
-                # Step 1's exact-block probe, inlined: a take-in-region
-                # hit (the common case — contiguity usually holds) skips
-                # the _allocate_block call entirely; any miss falls into
-                # the full three-step search, whose own step-1 re-probe
-                # is a no-op repeat of this failed one.
+                # Step 1's exact-block probe, batched: take the whole run
+                # of blocks the block-at-a-time loop would have taken —
+                # first block by take_in_region's selection order, then
+                # adjacent free blocks while each starts inside the same
+                # region window (block by block, the next preferred
+                # address is exactly the previous block's end, and a
+                # block straddling the region edge would shift the next
+                # iteration's window — precisely where the run stops).
+                # Capped at the blocks this tier still owes before its
+                # size bump and at the request's remainder.  A miss falls
+                # into the full three-step search, whose own step-1
+                # re-probe is a no-op repeat of this failed one.
                 low = optimal * region_units
                 high = low + region_units
                 if high > capacity:
                     high = capacity
-                address = take_in_region(size, low, high, prefer)
-                if address is None:
-                    address = self._allocate_block(size, optimal, prefer)
+                want = -(-remaining // size)
+                # The bump cap never lowers a single-block request (it is
+                # clamped to >= 1), so skip its divisions when want == 1.
+                if want > 1 and tier < last_tier:
+                    until_bump = -(
+                        -(grow_factor * sizes[tier + 1] - tier_units)
+                        // size
+                    )
+                    if until_bump < 1:
+                        until_bump = 1
+                    if until_bump < want:
+                        want = until_bump
+                hit = take_run_in_region(size, low, high, prefer, want)
+                if hit is None:
+                    start = self._allocate_block(
+                        size, optimal, prefer, skip_exact_probe=True
+                    )
+                    run = 1
                 else:
-                    self._last_satisfied_region = address // region_units
-                added.append(Extent(address, size))
-                prev_end = address + size
-                tier_units += size
+                    start, run = hit
+                    self._last_satisfied_region = (
+                        (start + (run - 1) * size) // region_units
+                    )
+                address = start
+                for _ in range(run):
+                    added.append(Extent(address, size))
+                    address += size
+                prev_end = address
+                tier_units += run * size
                 if tier < last_tier and tier_units >= grow_factor * sizes[tier + 1]:
                     tier += 1
                     tier_units = 0
-                remaining -= size
+                remaining -= run * size
         except Exception:
             for extent in reversed(added):
                 self.store.release(extent.start, extent.length)

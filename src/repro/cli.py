@@ -346,10 +346,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print("-- engine: per-subsystem event/time breakdown --")
     print(sim.profile.render())
     print()
-    print(f"-- cProfile: top {args.top} functions by internal time --")
+    limit = args.limit if args.limit is not None else args.top
+    label = (
+        "internal time" if args.sort == "tottime" else "cumulative time"
+    )
+    print(f"-- cProfile: top {limit} functions by {label} --")
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
-    stats.sort_stats("tottime").print_stats(args.top)
+    stats.sort_stats(args.sort).print_stats(limit)
     print(stream.getvalue().rstrip())
     return 0
 
@@ -563,6 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cap-ms", type=float, default=20_000.0,
                          help="simulated-time cap per phase (small by default: "
                               "profiling needs samples, not stabilization)")
+    profile.add_argument("--sort", choices=("tottime", "cumtime"),
+                         default="tottime",
+                         help="cProfile ordering: internal (tottime) or "
+                              "cumulative (cumtime) time")
+    profile.add_argument("--limit", type=int, default=None,
+                         help="how many functions to print "
+                              "(preferred spelling of --top)")
     profile.add_argument("--top", type=int, default=12,
                          help="cProfile rows to print")
     profile.add_argument("--json", action="store_true",

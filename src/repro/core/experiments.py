@@ -16,6 +16,7 @@ sustained sequential bandwidth, the paper's normalization.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Callable
 
@@ -29,7 +30,13 @@ from ..obs.telemetry import emit, progress_frame, telemetry_enabled
 from ..obs.tracer import TraceData, Tracer, drive_lane
 from ..sim.engine import Simulator
 from ..sim.meters import ThroughputMeter
-from ..sim.rng import RandomStream, StreamLedger, install_ledger, uninstall_ledger
+from ..sim.rng import (
+    PreparedWeights,
+    RandomStream,
+    StreamLedger,
+    install_ledger,
+    uninstall_ledger,
+)
 from ..workload.driver import (
     AllocationTestResult,
     WorkloadDriver,
@@ -107,6 +114,11 @@ def run_allocation_experiment(
     if audit is not None:
         ledger = StreamLedger()
         install_ledger(ledger)
+    # Same GC gate as the performance test (see there for why it cannot
+    # change results): churn is short-lived-object heavy.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     try:
         sim = Simulator()
         array = config.system.build_array(sim)
@@ -130,6 +142,8 @@ def run_allocation_experiment(
             auditor.finish(sim)
         return result
     finally:
+        if gc_was_enabled:
+            gc.enable()
         if ledger is not None:
             uninstall_ledger()
 
@@ -259,10 +273,15 @@ def _prefill(
     if not growers:
         return
     rng = RandomStream(seed, "prefill")
-    rates = [t.extend_ratio * t.event_rate for t in growers]
+    # Prepared once: same cumulative sums (left-to-right float additions)
+    # and the same single uniform draw per pick as weighted_choice, so
+    # the chosen sequence is bit-identical to rebuilding per iteration.
+    prepared = PreparedWeights(
+        growers, [t.extend_ratio * t.event_rate for t in growers]
+    )
     guard = 0
     while fs.utilization < target:
-        file_type = rng.weighted_choice(growers, rates)
+        file_type = rng.weighted_choice_prepared(prepared)
         population = driver.files.get(file_type.name)
         if not population:
             return
@@ -420,6 +439,15 @@ def run_performance_experiment(
         # the rng fingerprint section) covers every stream in the run.
         ledger = StreamLedger()
         install_ledger(ledger)
+    # Collector pauses while the experiment runs: the simulation allocates
+    # millions of short-lived objects (events, extents, breakdowns) that
+    # reference counting alone reclaims, so generation-0 sweeps are pure
+    # overhead (~10% of wall time).  GC never alters program behaviour
+    # here — no finalizer in the package touches simulation state — so
+    # the event sequence and every result are identical either way.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     try:
         sim = Simulator() if simulator_factory is None else simulator_factory()
         if collect_trace:
@@ -481,6 +509,8 @@ def run_performance_experiment(
             fault_summary, auditor,
         )
     finally:
+        if gc_was_enabled:
+            gc.enable()
         if ledger is not None:
             uninstall_ledger()
 

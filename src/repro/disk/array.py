@@ -209,12 +209,67 @@ class StripedArray(DiskSystem):
         return [_merge_runs(r) for r in runs]
 
     def transfer(self, kind: IoKind, start_unit: int, n_units: int) -> Waitable:
-        self._check_span(start_unit, n_units)
-        per_drive = self._per_drive_runs(start_unit, n_units)
+        """One fused pass: split, merge, validate, submit.
+
+        The former ``_per_drive_runs`` → ``_merge_runs`` → submit-loop
+        pipeline built three generations of intermediate lists per
+        transfer; here the per-drive runs are accumulated already merged
+        (chunks arrive in ascending byte order, so adjacency is a tail
+        check), with a short-circuit for the single-stripe-unit transfers
+        that dominate small-request workloads.  Requests are still
+        validated against offline drives before anything is submitted,
+        and submission stays drive-major — the produced request stream is
+        identical to the unfused path's.
+        """
+        if n_units <= 0:
+            raise InvalidRequestError(f"non-positive transfer: {n_units}")
+        if start_unit < 0 or start_unit + n_units > self.capacity_units:
+            raise InvalidRequestError(
+                f"transfer [{start_unit}, {start_unit + n_units}) outside "
+                f"capacity {self.capacity_units} units"
+            )
+        unit = self.disk_unit_bytes
+        su = self.stripe_unit_bytes
+        n_disks = self.n_disks
+        drives = self.drives
+        stripe, offset = divmod(start_unit * unit, su)
+        remaining = n_units * unit
+        if offset + remaining <= su:
+            # Entirely inside one stripe unit: one drive, one request.
+            drive = drives[stripe % n_disks]
+            state = drive.fault_state
+            if state is not None and not state.available:
+                raise DataUnavailableError(
+                    f"drive {stripe % n_disks} is offline and the striped "
+                    f"array has no redundancy to mask it"
+                )
+            request = DiskRequest(
+                kind, (stripe // n_disks) * su + offset, remaining
+            )
+            return AllOf([drive.submit(request)])
+        per_drive: list[list[tuple[int, int]] | None] = [None] * n_disks
+        while remaining > 0:
+            chunk = su - offset
+            if chunk > remaining:
+                chunk = remaining
+            row, drive_index = divmod(stripe, n_disks)
+            start_byte = row * su + offset
+            runs = per_drive[drive_index]
+            if runs is None:
+                per_drive[drive_index] = [(start_byte, chunk)]
+            else:
+                last_start, last_length = runs[-1]
+                if last_start + last_length == start_byte:
+                    runs[-1] = (last_start, start_byte + chunk - last_start)
+                else:
+                    runs.append((start_byte, chunk))
+            remaining -= chunk
+            stripe += 1
+            offset = 0
         # Validate before submitting anything: a span that touches an
         # offline drive must fail whole, not leave sibling requests queued.
         for drive_index, runs in enumerate(per_drive):
-            if runs and not self._drive_available(self.drives[drive_index]):
+            if runs is not None and not self._drive_available(drives[drive_index]):
                 # No redundancy: data on a failed drive is simply gone
                 # until the replacement arrives.  The workload layer
                 # treats this like any other transient operation failure.
@@ -224,9 +279,11 @@ class StripedArray(DiskSystem):
                 )
         completions: list[Waitable] = []
         for drive_index, runs in enumerate(per_drive):
+            if runs is None:
+                continue
+            submit = drives[drive_index].submit
             for start_byte, length in runs:
-                request = DiskRequest(kind, start_byte, length)
-                completions.append(self.drives[drive_index].submit(request))
+                completions.append(submit(DiskRequest(kind, start_byte, length)))
         return AllOf(completions)
 
 

@@ -173,9 +173,13 @@ class QueuedDrive:
             metrics.incr(f"disk.requests.d{self.index}")
             if retried:
                 metrics.incr("disk.transient_retries")
-        sim.schedule(
-            total_ms, self._complete, completion, breakdown, request.n_bytes,
-            rspan,
+        # Direct heap push: service times are strictly positive (every
+        # request moves at least one byte), so this is sim.schedule minus
+        # the sign/zero-delay checks — one call per request served.
+        sim._push_timer(
+            now + total_ms,
+            self._complete,
+            (completion, breakdown, request.n_bytes, rspan),
         )
 
     def _apply_faults(
@@ -240,21 +244,35 @@ class QueuedDrive:
         self._start_next(sim)
 
     def _pop_elevator(self) -> tuple[DiskRequest, Waitable, float, tuple | None]:
-        """SCAN: nearest request ahead in the sweep direction, else reverse."""
+        """SCAN: nearest request ahead in the sweep direction, else reverse.
+
+        The selection scan tracks the chosen entry's *index* so it can be
+        removed positionally: ``deque.remove`` would re-scan the queue
+        comparing whole ``(request, waitable, ...)`` tuples element by
+        element against every entry.  Ties keep the earliest-submitted
+        entry, exactly as ``min`` over the queue-ordered candidates did.
+        """
         head = self.drive.head_cylinder
-
-        def cylinder(entry) -> int:
-            return self.drive.cylinder_of(entry[0].start_byte)
-
-        ahead = [
-            e for e in self._queue
-            if (cylinder(e) - head) * self._direction >= 0
-        ]
-        if not ahead:
-            self._direction = -self._direction
-            ahead = list(self._queue)
-        chosen = min(ahead, key=lambda e: abs(cylinder(e) - head))
-        self._queue.remove(chosen)
+        cylinder_of = self.drive.cylinder_of
+        direction = self._direction
+        queue = self._queue
+        best_index = -1
+        best_dist = 0
+        for index, entry in enumerate(queue):
+            delta = cylinder_of(entry[0].start_byte) - head
+            if delta * direction >= 0:
+                dist = delta if delta >= 0 else -delta
+                if best_index < 0 or dist < best_dist:
+                    best_index, best_dist = index, dist
+        if best_index < 0:
+            self._direction = -direction
+            for index, entry in enumerate(queue):
+                delta = cylinder_of(entry[0].start_byte) - head
+                dist = delta if delta >= 0 else -delta
+                if best_index < 0 or dist < best_dist:
+                    best_index, best_dist = index, dist
+        chosen = queue[best_index]
+        del queue[best_index]
         return chosen
 
     def utilization(self, elapsed_ms: float) -> float:

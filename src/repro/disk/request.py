@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from ..errors import InvalidRequestError
 
@@ -17,31 +16,57 @@ class IoKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
 class DiskRequest:
     """A contiguous transfer on a single physical drive.
 
     Addresses are byte offsets on that drive (the array layer translates
-    linear/striped addresses into these).
+    linear/striped addresses into these).  Hand-rolled rather than a
+    frozen dataclass: one is built per physical transfer, and the plain
+    ``__init__`` skips the generated init's ``object.__setattr__`` round
+    trips while keeping value equality and the read-only contract.
     """
 
-    kind: IoKind
-    start_byte: int
-    n_bytes: int
+    __slots__ = ("kind", "start_byte", "n_bytes")
 
-    def __post_init__(self) -> None:
-        if self.start_byte < 0:
-            raise InvalidRequestError(f"negative start: {self.start_byte}")
-        if self.n_bytes <= 0:
-            raise InvalidRequestError(f"non-positive length: {self.n_bytes}")
+    def __init__(self, kind: IoKind, start_byte: int, n_bytes: int) -> None:
+        if start_byte < 0:
+            raise InvalidRequestError(f"negative start: {start_byte}")
+        if n_bytes <= 0:
+            raise InvalidRequestError(f"non-positive length: {n_bytes}")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "start_byte", start_byte)
+        object.__setattr__(self, "n_bytes", n_bytes)
 
     @property
     def end_byte(self) -> int:
         """One past the last byte transferred."""
         return self.start_byte + self.n_bytes
 
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"request field {name!r} is read-only")
 
-@dataclass(frozen=True)
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"request field {name!r} is read-only")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is DiskRequest:
+            return (
+                self.kind is other.kind
+                and self.start_byte == other.start_byte
+                and self.n_bytes == other.n_bytes
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.start_byte, self.n_bytes))
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskRequest(kind={self.kind!r}, start_byte={self.start_byte}, "
+            f"n_bytes={self.n_bytes})"
+        )
+
+
 class ServiceBreakdown:
     """Where the service time of one request went.
 
@@ -50,16 +75,48 @@ class ServiceBreakdown:
         rotation_ms: rotational delay waiting for the first byte.
         transfer_ms: media transfer, including intra-transfer cylinder
             crossings and head switches.
+        total_ms: their sum, precomputed — the queue, meters, and metrics
+            all read it several times per request.
+
+    Hand-rolled immutable slots class for the same reason as
+    :class:`DiskRequest`: one per request served.
     """
 
-    seek_ms: float
-    rotation_ms: float
-    transfer_ms: float
+    __slots__ = ("seek_ms", "rotation_ms", "transfer_ms", "total_ms")
 
-    @property
-    def total_ms(self) -> float:
-        """Total service time."""
-        return self.seek_ms + self.rotation_ms + self.transfer_ms
+    def __init__(
+        self, seek_ms: float, rotation_ms: float, transfer_ms: float
+    ) -> None:
+        object.__setattr__(self, "seek_ms", seek_ms)
+        object.__setattr__(self, "rotation_ms", rotation_ms)
+        object.__setattr__(self, "transfer_ms", transfer_ms)
+        object.__setattr__(
+            self, "total_ms", seek_ms + rotation_ms + transfer_ms
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"breakdown field {name!r} is read-only")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"breakdown field {name!r} is read-only")
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is ServiceBreakdown:
+            return (
+                self.seek_ms == other.seek_ms
+                and self.rotation_ms == other.rotation_ms
+                and self.transfer_ms == other.transfer_ms
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.seek_ms, self.rotation_ms, self.transfer_ms))
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceBreakdown(seek_ms={self.seek_ms}, "
+            f"rotation_ms={self.rotation_ms}, transfer_ms={self.transfer_ms})"
+        )
 
     def __add__(self, other: "ServiceBreakdown") -> "ServiceBreakdown":
         return ServiceBreakdown(

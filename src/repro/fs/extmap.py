@@ -20,13 +20,21 @@ from ..errors import FileSystemError
 
 
 class ExtentMap:
-    """Cumulative index over an :class:`AllocFile`'s extents."""
+    """Cumulative index over an :class:`AllocFile`'s extents.
 
-    __slots__ = ("_handle", "_cumulative")
+    Lookups remember the extent they last landed in (``_cursor``): the
+    workloads overwhelmingly read and write sequentially or repeatedly
+    within one extent, so the common locate is one or two comparisons
+    against the cached extent's bounds instead of a fresh bisect.  The
+    cursor is pure cache — it never changes what any query returns.
+    """
+
+    __slots__ = ("_handle", "_cumulative", "_cursor")
 
     def __init__(self, handle: AllocFile) -> None:
         self._handle = handle
         self._cumulative: list[int] = []
+        self._cursor = 0
         total = 0
         for extent in handle.extents:
             total += extent.length
@@ -41,11 +49,13 @@ class ExtentMap:
 
     def sync_append(self, added: list[Extent]) -> None:
         """Record extents the allocator just appended."""
-        total = self.total_units
+        cumulative = self._cumulative
+        total = cumulative[-1] if cumulative else 0
+        append = cumulative.append
         for extent in added:
             total += extent.length
-            self._cumulative.append(total)
-        if len(self._cumulative) != len(self._handle.extents):
+            append(total)
+        if len(cumulative) != len(self._handle.extents):
             raise FileSystemError("extent map out of sync after append")
 
     def sync_truncate(self) -> None:
@@ -53,17 +63,32 @@ class ExtentMap:
         del self._cumulative[len(self._handle.extents):]
         if len(self._cumulative) != len(self._handle.extents):
             raise FileSystemError("extent map out of sync after truncate")
+        if self._cursor >= len(self._cumulative):
+            self._cursor = 0
 
     # -- queries ------------------------------------------------------------
 
     def locate(self, unit_offset: int) -> tuple[int, int]:
         """Map a logical unit offset to ``(extent index, offset within)``."""
-        if not 0 <= unit_offset < self.total_units:
+        cumulative = self._cumulative
+        if not cumulative or not 0 <= unit_offset < cumulative[-1]:
             raise FileSystemError(
                 f"offset {unit_offset} outside mapped {self.total_units} units"
             )
-        index = bisect_right(self._cumulative, unit_offset)
-        previous_end = self._cumulative[index - 1] if index else 0
+        # Cursor fast path: the last extent hit, then its successor (the
+        # sequential advance), before falling back to a full bisect.
+        index = self._cursor
+        lower = cumulative[index - 1] if index else 0
+        if lower <= unit_offset:
+            if unit_offset < cumulative[index]:
+                return index, unit_offset - lower
+            nxt = index + 1
+            if nxt < len(cumulative) and unit_offset < cumulative[nxt]:
+                self._cursor = nxt
+                return nxt, unit_offset - cumulative[index]
+        index = bisect_right(cumulative, unit_offset)
+        self._cursor = index
+        previous_end = cumulative[index - 1] if index else 0
         return index, unit_offset - previous_end
 
     def runs(self, unit_offset: int, n_units: int) -> list[tuple[int, int]]:
@@ -75,24 +100,51 @@ class ExtentMap:
         """
         if n_units <= 0:
             raise FileSystemError(f"non-positive range: {n_units}")
-        if unit_offset + n_units > self.total_units:
+        cumulative = self._cumulative
+        total = cumulative[-1] if cumulative else 0
+        if unit_offset < 0 or unit_offset + n_units > total:
             raise FileSystemError(
                 f"range [{unit_offset}, {unit_offset + n_units}) outside "
-                f"mapped {self.total_units} units"
+                f"mapped {total} units"
             )
         extents = self._handle.extents
-        index, within = self.locate(unit_offset)
-        runs: list[tuple[int, int]] = []
-        remaining = n_units
+        # locate()'s cursor fast path, inlined (runs() is the hottest
+        # caller, and the range check above already established
+        # ``0 <= unit_offset < total`` — n_units is positive).
+        index = self._cursor
+        lower = cumulative[index - 1] if index else 0
+        within = -1
+        if lower <= unit_offset:
+            if unit_offset < cumulative[index]:
+                within = unit_offset - lower
+            else:
+                nxt = index + 1
+                if nxt < len(cumulative) and unit_offset < cumulative[nxt]:
+                    within = unit_offset - cumulative[index]
+                    index = nxt
+                    self._cursor = nxt
+        if within < 0:
+            index = bisect_right(cumulative, unit_offset)
+            self._cursor = index
+            previous_end = cumulative[index - 1] if index else 0
+            within = unit_offset - previous_end
+        extent = extents[index]
+        available = extent.length - within
+        if available >= n_units:
+            # Whole range inside one extent — the overwhelmingly common
+            # case once allocation is even mildly contiguous.
+            return [(extent.start + within, n_units)]
+        runs: list[tuple[int, int]] = [(extent.start + within, available)]
+        remaining = n_units - available
         while remaining > 0:
+            index += 1
             extent = extents[index]
-            take = min(extent.length - within, remaining)
-            start = extent.start + within
-            if runs and runs[-1][0] + runs[-1][1] == start:
-                runs[-1] = (runs[-1][0], runs[-1][1] + take)
+            take = extent.length if extent.length < remaining else remaining
+            start = extent.start
+            last = runs[-1]
+            if last[0] + last[1] == start:
+                runs[-1] = (last[0], last[1] + take)
             else:
                 runs.append((start, take))
             remaining -= take
-            index += 1
-            within = 0
         return runs

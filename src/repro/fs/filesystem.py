@@ -19,7 +19,6 @@ Completed transfer bytes are reported to an optional
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 
 from ..alloc.base import Allocator
 from ..alloc.metrics import FragmentationReport, measure_fragmentation
@@ -33,9 +32,16 @@ from ..units import ceil_div
 from .extmap import ExtentMap
 
 
-@dataclass
 class FsFile:
     """An open file: logical length plus the mapping machinery.
+
+    Compares (and hashes) by identity, deliberately: an open file is a
+    stateful resource, not a value.  The workload keeps thousands of
+    these in population lists, and the former dataclass-generated
+    ``__eq__`` deep-compared extent maps and stats dicts across whole
+    populations on every ``list.remove`` — the O(n²) churn this layer's
+    hot-path rework removed.  ``fs_id`` is unique per file system, so no
+    two distinct live files ever compared equal anyway.
 
     Attributes:
         fs_id: file-system-level id (distinct from the allocator's).
@@ -45,18 +51,39 @@ class FsFile:
         tag: free-form label (the workload stores the file-type name).
     """
 
-    fs_id: int
-    handle: object
-    extmap: ExtentMap
-    length_bytes: int = 0
-    cursor_bytes: int = 0
-    tag: str = ""
-    stats: dict = field(default_factory=dict)
+    __slots__ = (
+        "fs_id", "handle", "extmap", "length_bytes", "cursor_bytes",
+        "tag", "stats",
+    )
+
+    def __init__(
+        self,
+        fs_id: int,
+        handle: object,
+        extmap: ExtentMap,
+        length_bytes: int = 0,
+        cursor_bytes: int = 0,
+        tag: str = "",
+        stats: dict | None = None,
+    ) -> None:
+        self.fs_id = fs_id
+        self.handle = handle
+        self.extmap = extmap
+        self.length_bytes = length_bytes
+        self.cursor_bytes = cursor_bytes
+        self.tag = tag
+        self.stats = {} if stats is None else stats
 
     @property
     def allocated_units(self) -> int:
         """Data units allocated to this file."""
         return self.handle.allocated_units
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FsFile {self.fs_id} tag={self.tag!r} "
+            f"len={self.length_bytes} alloc={self.handle.allocated_units}u>"
+        )
 
 
 class FileSystem:
@@ -136,18 +163,31 @@ class FileSystem:
         step_units = (
             ceil_div(step_bytes, self.unit_bytes) if step_bytes else None
         )
-        while fs_file.extmap.total_units < needed_units:
-            missing = needed_units - fs_file.extmap.total_units
+        extend = self.allocator.extend
+        handle = fs_file.handle
+        while True:
+            # One total_units read per round; _sync_after_extend may
+            # replace the whole extent map (remap), so re-read the
+            # attribute rather than holding the map across the call.
+            total = fs_file.extmap.total_units
+            if total >= needed_units:
+                break
+            missing = needed_units - total
             request = min(missing, step_units) if step_units else missing
             try:
-                added = self.allocator.extend(fs_file.handle, request)
+                added = extend(handle, request)
             except DiskFullError:
                 covered = fs_file.extmap.total_units * self.unit_bytes
                 fs_file.length_bytes = max(
                     fs_file.length_bytes, min(length_bytes, covered)
                 )
                 raise
-            self._sync_after_extend(fs_file, added)
+            # _sync_after_extend, inlined for the populate/prefill storm
+            # of small chunked extends.
+            if handle.policy_state.pop("remapped", False):
+                fs_file.extmap = ExtentMap(handle)
+            else:
+                fs_file.extmap.sync_append(added)
         fs_file.length_bytes = max(fs_file.length_bytes, length_bytes)
 
     def delete(self, fs_file: FsFile) -> None:
@@ -207,13 +247,30 @@ class FileSystem:
 
     def read(self, fs_file: FsFile, offset_bytes: int, n_bytes: int):
         """Read a byte range (clamped to the file).  Returns bytes read."""
-        self._check_live(fs_file)
+        if fs_file.fs_id not in self.files:
+            raise FileSystemError(f"file {fs_file.fs_id} is not open")
         if offset_bytes < 0 or n_bytes < 0:
             raise FileSystemError("negative read offset or size")
         end = min(offset_bytes + n_bytes, fs_file.length_bytes)
         if end <= offset_bytes:
             return 0
         tracer = self.sim.tracer
+        if tracer is None:
+            # Untraced hot path: the former _byte_range_runs + _transfer
+            # pair inlined into one descent (identical requests, identical
+            # AllOf join — only the call overhead is gone).
+            unit = self.unit_bytes
+            first_unit = offset_bytes // unit
+            transfer = self.disk.transfer
+            yield AllOf([
+                transfer(IoKind.READ, start, length)
+                for start, length in fs_file.extmap.runs(
+                    first_unit, (end - 1) // unit - first_unit + 1
+                )
+            ])
+            actual = end - offset_bytes
+            self.bytes_read += actual
+            return actual
         span = None
         if tracer is not None:
             span = tracer.begin(
@@ -240,13 +297,36 @@ class FileSystem:
 
         Returns bytes written.
         """
-        self._check_live(fs_file)
+        if fs_file.fs_id not in self.files:
+            raise FileSystemError(f"file {fs_file.fs_id} is not open")
         if offset_bytes < 0 or n_bytes <= 0:
             raise FileSystemError("bad write offset or size")
         if offset_bytes > fs_file.length_bytes:
             offset_bytes = fs_file.length_bytes  # no holes: append instead
         end = offset_bytes + n_bytes
         tracer = self.sim.tracer
+        if tracer is None:
+            # Untraced hot path, mirroring read() above.
+            if end > fs_file.length_bytes:
+                self._grow_to(fs_file, end)
+            unit = self.unit_bytes
+            first_unit = offset_bytes // unit
+            runs = fs_file.extmap.runs(
+                first_unit, (end - 1) // unit - first_unit + 1
+            )
+            if self.write_behind:
+                # Queue the disk work and return immediately; the drives
+                # drain it in the background (the meter still sees it).
+                for start, length in runs:
+                    self.disk.transfer(IoKind.WRITE, start, length)
+            else:
+                transfer = self.disk.transfer
+                yield AllOf([
+                    transfer(IoKind.WRITE, start, length)
+                    for start, length in runs
+                ])
+            self.bytes_written += n_bytes
+            return n_bytes
         span = None
         if tracer is not None:
             span = tracer.begin(

@@ -117,27 +117,38 @@ class AllOf(Waitable):
     __slots__ = ("_remaining", "_results")
 
     def __init__(self, waitables: "list[Waitable]") -> None:
-        super().__init__()
-        self._results: list[Any] = [None] * len(waitables)
-        self._remaining = 0
+        # Inlined Waitable.__init__ plus direct waiter registration: a
+        # join is built for every disk transfer, so the construction path
+        # skips the superclass call and the on_success indirection (the
+        # done-check it performs is the branch below).
+        self.done = False
+        self.value = None
+        self._waiters = []
+        results: list[Any] = [None] * len(waitables)
+        self._results = results
+        remaining = 0
         for index, waitable in enumerate(waitables):
             if waitable.done:
-                self._results[index] = waitable.value
+                results[index] = waitable.value
             else:
-                self._remaining += 1
-                waitable.on_success(self._make_child_callback(index))
-        if self._remaining == 0:
+                remaining += 1
+                waitable._waiters.append(self._make_child_callback(index))
+        self._remaining = remaining
+        if remaining == 0:
             # Nothing outstanding: complete synchronously (no waiters can
             # exist yet, so no scheduling is needed).
             self.done = True
-            self.value = list(self._results)
+            self.value = results
 
     def _make_child_callback(self, index: int) -> Callable[["Simulator", Any], None]:
         def child_done(sim: "Simulator", value: Any) -> None:
             self._results[index] = value
             self._remaining -= 1
             if self._remaining == 0:
-                self.succeed(sim, list(self._results))
+                # The results list is handed over as-is: every slot is
+                # final once the join completes, so a defensive copy per
+                # transfer would buy nothing.
+                self.succeed(sim, self._results)
 
         return child_done
 
@@ -172,7 +183,17 @@ class Process(Waitable):
             return
         cls = target.__class__
         if cls is float or cls is int or isinstance(target, (int, float)):
-            sim.schedule(float(target), self._resume, None)
+            # schedule(), inlined: one resume per yielded think time is
+            # the single most common scheduling call in a run.
+            delay = float(target)
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past: {delay}"
+                )
+            if delay == 0.0:
+                sim._push_immediate(sim.now, self._resume, (None,))
+            else:
+                sim._push_timer(sim.now + delay, self._resume, (None,))
         elif isinstance(target, Waitable):
             if target.done:
                 sim.schedule_immediate(self._resume, target.value)
@@ -430,7 +451,6 @@ class Simulator:
                     event = head[2]
                 else:
                     break
-                heap._live -= 1
                 event_time = event.time
                 if event_time < self.now:
                     raise SimulationError(
@@ -442,9 +462,14 @@ class Simulator:
                 if stop_when is not None and stop_when():
                     return
         finally:
-            # Nothing in the simulation reads this mid-run; batching the
-            # counter keeps one attribute RMW out of the per-event loop.
+            # Nothing in the simulation reads these mid-run; batching the
+            # counters keeps two attribute RMWs out of the per-event loop.
+            # (heap._live is read mid-run only by the cancellation
+            # underflow guard, where a transiently high count is harmless,
+            # and the compaction trigger compares against the raw heap
+            # list, not the live count.)
             self._events_executed += executed
+            heap._live -= executed
         if until is not None and not self._stopped:
             if len(heap) > 0:
                 self.now = until  # next event lies beyond the horizon

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect_right
 from typing import Sequence, TypeVar
 
 from ..errors import ConfigurationError
@@ -69,6 +70,39 @@ def uninstall_ledger() -> None:
 def current_ledger() -> StreamLedger | None:
     """The installed ledger, or ``None``."""
     return _LEDGER
+
+
+class PreparedWeights:
+    """Pre-validated cumulative weights for repeated weighted draws.
+
+    :meth:`RandomStream.weighted_choice` revalidates and re-accumulates
+    its weights on every call; hot loops that draw from the same
+    distribution millions of times (the workload driver's operation mix)
+    build one of these once instead.  The cumulative sums are built with
+    the exact left-to-right float additions ``weighted_choice`` performs,
+    so :meth:`RandomStream.weighted_choice_prepared` selects the same
+    item the unprepared call would for every possible draw.
+    """
+
+    __slots__ = ("items", "cumulative", "total")
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float]) -> None:
+        if len(items) != len(weights):
+            raise ConfigurationError("items and weights differ in length")
+        for weight in weights:
+            if weight < 0:
+                raise ConfigurationError(f"negative weight: {weight}")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running)
+        self.items = tuple(items)
+        self.cumulative = cumulative
+        self.total = total
 
 
 def _derive_seed(seed: int, name: str) -> int:
@@ -166,6 +200,20 @@ class RandomStream:
         self.draws += 1
         return self._random.choice(items)
 
+    def choice_index(self, n: int) -> int:
+        """Uniform index in ``[0, n)``, draw-compatible with :meth:`choice`.
+
+        ``random.Random.choice(seq)`` is ``seq[_randbelow(len(seq))]`` and
+        ``randrange(n)`` consumes the same single ``_randbelow(n)`` draw,
+        so ``items[stream.choice_index(len(items))]`` selects the exact
+        item ``stream.choice(items)`` would while also exposing the index
+        (which lets callers delete by position instead of scanning).
+        """
+        if n <= 0:
+            raise ConfigurationError("choice from an empty sequence")
+        self.draws += 1
+        return self._random.randrange(n)
+
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
         """Choice proportional to ``weights`` (used for operation ratios)."""
         if len(items) != len(weights):
@@ -184,6 +232,23 @@ class RandomStream:
             if pick < cumulative:
                 return item
         return items[-1]
+
+    def weighted_choice_prepared(self, prepared: PreparedWeights) -> T:
+        """Draw from a :class:`PreparedWeights`, one ``random()`` sample.
+
+        Selects exactly the item :meth:`weighted_choice` would pick from
+        the same items/weights at the same generator state: one uniform
+        draw scaled by the same total, located in the same cumulative
+        sums (bisect here, linear scan there — same first index with
+        ``pick < cumulative[i]``).
+        """
+        self.draws += 1
+        pick = self._random.random() * prepared.total
+        index = bisect_right(prepared.cumulative, pick)
+        items = prepared.items
+        if index >= len(items):  # pick rounded up to the exact total
+            return items[-1]
+        return items[index]
 
     def shuffle(self, items: list[T]) -> None:
         """In-place Fisher-Yates shuffle."""

@@ -29,12 +29,16 @@ class Tally:
 
     def add(self, value: float) -> None:
         """Record one observation."""
-        self.count += 1
+        count = self.count + 1
+        self.count = count
         delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        mean = self._mean + delta / count
+        self._mean = mean
+        self._m2 += delta * (value - mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
 
     @property
     def mean(self) -> float:

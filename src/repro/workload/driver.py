@@ -26,10 +26,15 @@ from ..fs.filesystem import FileSystem, FsFile
 from ..obs.tracer import TID_WORKLOAD
 from ..obs.telemetry import emit, progress_frame, telemetry_enabled
 from ..sim.engine import Simulator
-from ..sim.rng import RandomStream
+from ..sim.rng import PreparedWeights, RandomStream
 from ..sim.stats import Counter, Tally
 from .filetype import FileType, Operation
-from .ops import pick_offset, plan_operation, sample_initial_size
+from .ops import (
+    pick_offset,
+    plan_operation_raw,
+    prepare_weights,
+    sample_initial_size,
+)
 from .profiles import Profile
 
 #: The paper's disk-utilization bounds for the performance tests.
@@ -78,6 +83,17 @@ class WorkloadDriver:
         self.disk_full_events = 0
         self.governor_conversions = 0
         self.io_failures = 0
+        # Per-(type, mode) cumulative operation weights, built once: the
+        # per-op weighted draw then stops rebuilding and revalidating its
+        # weight lists (same single RNG draw, same selection).
+        self._prepared_weights = {
+            (file_type.name, mode): prepare_weights(weights)
+            for file_type in profile.types
+            for mode, weights in (
+                ("application", file_type.operation_weights),
+                ("sequential", file_type.sequential_weights),
+            )
+        }
 
     # -- setup ------------------------------------------------------------------
 
@@ -126,9 +142,14 @@ class WorkloadDriver:
         population = self.files.get(file_type.name)
         if not population:
             return
-        fs_file = rng.choice(population)
-        planned = plan_operation(rng, file_type, self._mode_weights(file_type))
-        op, size = planned.op, planned.size_bytes
+        # Index-keyed pick (same draw as rng.choice of the population):
+        # keeping the position makes the delete path below a positional
+        # pop instead of an equality scan over the whole population.
+        index = rng.choice_index(len(population))
+        fs_file = population[index]
+        op, size = plan_operation_raw(
+            rng, file_type, self._prepared_weights[(file_type.name, self.mode)]
+        )
 
         # The governor: extends above the upper bound become truncates.
         if op is Operation.EXTEND and self.fs.utilization > self.upper_bound:
@@ -136,8 +157,9 @@ class WorkloadDriver:
             size = max(1, file_type.truncate_size_bytes)
             self.governor_conversions += 1
 
-        started = self.sim.now
-        tracer = self.sim.tracer
+        sim = self.sim
+        started = sim.now
+        tracer = sim.tracer
         span = None
         if tracer is not None:
             # Operations are roots of the span tree: user processes run
@@ -152,16 +174,37 @@ class WorkloadDriver:
             )
             tracer.context = span.span_id
         try:
+            # Reads and writes are inlined (not delegated to _do_read /
+            # _do_write) to keep one generator frame off the per-op path;
+            # the sequential mode check is the same either way.
             if op is Operation.READ:
-                yield from self._do_read(file_type, fs_file, rng, size)
+                if self.mode == "sequential":
+                    yield from self.fs.read_whole(fs_file)
+                else:
+                    offset, new_cursor = pick_offset(
+                        rng, file_type, fs_file.length_bytes,
+                        fs_file.cursor_bytes, size,
+                    )
+                    fs_file.cursor_bytes = new_cursor
+                    yield from self.fs.read(fs_file, offset, size)
             elif op is Operation.WRITE:
-                yield from self._do_write(file_type, fs_file, rng, size)
+                if self.mode == "sequential":
+                    yield from self.fs.write_whole(fs_file)
+                else:
+                    offset, new_cursor = pick_offset(
+                        rng, file_type, fs_file.length_bytes,
+                        fs_file.cursor_bytes, size,
+                    )
+                    fs_file.cursor_bytes = new_cursor
+                    yield from self.fs.write(fs_file, offset, size)
             elif op is Operation.EXTEND:
                 yield from self.fs.extend(fs_file, size)
             elif op is Operation.TRUNCATE:
                 self.fs.truncate(fs_file, size)
             elif op is Operation.DELETE:
-                yield from self._do_delete(file_type, fs_file, population, size)
+                yield from self._do_delete(
+                    file_type, fs_file, population, index, size
+                )
         except DiskFullError:
             # "a disk full condition is logged, and the current event is
             # rescheduled" — the user simply thinks again and retries.
@@ -175,35 +218,29 @@ class WorkloadDriver:
             if span is not None:
                 tracer.end(span)
                 tracer.context = 0
-        self.op_counts.incr(op.value)
-        self.op_latency.setdefault(op.value, Tally()).add(self.sim.now - started)
-        metrics = self.sim.metrics
+        op_value = op.value
+        elapsed = sim.now - started
+        self.op_counts.incr(op_value)
+        tally = self.op_latency.get(op_value)
+        if tally is None:  # first op of this kind; setdefault would build
+            tally = self.op_latency[op_value] = Tally()  # a Tally per call
+        tally.add(elapsed)
+        metrics = sim.metrics
         if metrics is not None:
-            metrics.observe("workload.op_ms." + op.value, self.sim.now - started)
+            metrics.observe("workload.op_ms." + op_value, elapsed)
 
-    def _do_read(self, file_type, fs_file, rng, size: int):
-        if self.mode == "sequential":
-            yield from self.fs.read_whole(fs_file)
-            return
-        offset, new_cursor = pick_offset(
-            rng, file_type, fs_file.length_bytes, fs_file.cursor_bytes, size
-        )
-        fs_file.cursor_bytes = new_cursor
-        yield from self.fs.read(fs_file, offset, size)
+    def _do_delete(self, file_type, fs_file, population, index: int, new_size: int):
+        """Delete and recreate: churn that keeps the population stable.
 
-    def _do_write(self, file_type, fs_file, rng, size: int):
-        if self.mode == "sequential":
-            yield from self.fs.write_whole(fs_file)
-            return
-        offset, new_cursor = pick_offset(
-            rng, file_type, fs_file.length_bytes, fs_file.cursor_bytes, size
-        )
-        fs_file.cursor_bytes = new_cursor
-        yield from self.fs.write(fs_file, offset, size)
-
-    def _do_delete(self, file_type, fs_file, population, new_size: int):
-        """Delete and recreate: churn that keeps the population stable."""
-        population.remove(fs_file)
+        ``index`` is ``fs_file``'s position in ``population`` (from the
+        pick above): a positional pop removes the exact object chosen in
+        O(shift) with no per-element comparisons, where ``list.remove``
+        scanned the population calling ``FsFile.__eq__`` on every entry.
+        The surviving files keep their relative order, so subsequent
+        index draws land on the same files they always did.
+        """
+        popped = population.pop(index)
+        assert popped is fs_file
         self.fs.delete(fs_file)
         replacement = self.fs.create(
             size_hint_bytes=file_type.allocation_size_bytes, tag=file_type.name
@@ -305,14 +342,24 @@ def run_allocation_until_full(
     operations = 0
     if not failed and churn_types:
         type_rates = [t.event_rate for t in churn_types]
+        # Built once, drawn millions of times: prepared cumulative
+        # weights for the type mix and each type's allocation ratios
+        # (identical draws and selections to the unprepared calls).
+        prepared_types = PreparedWeights(churn_types, type_rates)
+        prepared_ops = {
+            t.name: prepare_weights(t.allocation_weights) for t in churn_types
+        }
         op_rng = rng.fork("churn")
         while operations < max_operations:
-            file_type = op_rng.weighted_choice(churn_types, type_rates)
+            file_type = op_rng.weighted_choice_prepared(prepared_types)
             population = files[file_type.name]
             if not population:
                 continue
-            fs_file = op_rng.choice(population)
-            planned = plan_operation(op_rng, file_type, file_type.allocation_weights)
+            index = op_rng.choice_index(len(population))
+            fs_file = population[index]
+            planned_op, planned_size = plan_operation_raw(
+                op_rng, file_type, prepared_ops[file_type.name]
+            )
             operations += 1
             if not operations & 0xFFFF and telemetry_enabled():
                 # Progress for the live sweep display; the modulo guard
@@ -327,14 +374,16 @@ def run_allocation_until_full(
                     )
                 )
             try:
-                if planned.op is Operation.EXTEND:
+                if planned_op is Operation.EXTEND:
                     fs.allocate_to(
-                        fs_file, fs_file.length_bytes + planned.size_bytes
+                        fs_file, fs_file.length_bytes + planned_size
                     )
-                elif planned.op is Operation.TRUNCATE:
+                elif planned_op is Operation.TRUNCATE:
                     fs.truncate(fs_file, max(1, file_type.truncate_size_bytes))
-                elif planned.op is Operation.DELETE:
-                    population.remove(fs_file)
+                elif planned_op is Operation.DELETE:
+                    # Positional pop of the exact object picked above
+                    # (identity, not first-equal); order preserved.
+                    population.pop(index)
                     fs.delete(fs_file)
                     replacement = fs.create(
                         size_hint_bytes=file_type.allocation_size_bytes,
@@ -343,7 +392,7 @@ def run_allocation_until_full(
                     population.append(replacement)
                     fs.allocate_to(
                         replacement,
-                        planned.size_bytes,
+                        planned_size,
                         step_bytes=_populate_step(file_type),
                     )
             except DiskFullError:

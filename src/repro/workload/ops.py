@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.rng import RandomStream
+from ..sim.rng import PreparedWeights, RandomStream
 from .filetype import AccessPattern, FileType, Operation
 
 
@@ -25,6 +25,17 @@ class PlannedOp:
 
     op: Operation
     size_bytes: int
+
+
+def prepare_weights(weights: dict[Operation, float]) -> PreparedWeights:
+    """Build reusable cumulative weights for an operation-ratio dict.
+
+    The item order is ``list(weights.keys())`` — the order
+    :func:`pick_operation` uses — so a prepared draw selects the same
+    operation an unprepared one would at the same generator state.
+    """
+    items = list(weights.keys())
+    return PreparedWeights(items, [weights[op] for op in items])
 
 
 def pick_operation(
@@ -58,17 +69,39 @@ def sample_initial_size(rng: RandomStream, file_type: FileType) -> int:
 def plan_operation(
     rng: RandomStream,
     file_type: FileType,
-    weights: dict[Operation, float],
+    weights: dict[Operation, float] | PreparedWeights,
 ) -> PlannedOp:
-    """Sample an operation and its size parameter for one event."""
-    op = pick_operation(rng, weights)
-    if op in (Operation.READ, Operation.WRITE, Operation.EXTEND):
-        size = sample_rw_size(rng, file_type)
-    elif op is Operation.TRUNCATE:
-        size = max(1, file_type.truncate_size_bytes)
-    else:  # DELETE: size is the replacement file's initial size
-        size = sample_initial_size(rng, file_type)
+    """Sample an operation and its size parameter for one event.
+
+    ``weights`` is an operation-ratio dict or a :class:`PreparedWeights`
+    built from one by :func:`prepare_weights`; both consume the same
+    single draw and select the same operation.
+    """
+    op, size = plan_operation_raw(rng, file_type, weights)
     return PlannedOp(op, size)
+
+
+def plan_operation_raw(
+    rng: RandomStream,
+    file_type: FileType,
+    weights: dict[Operation, float] | PreparedWeights,
+) -> tuple[Operation, int]:
+    """:func:`plan_operation` without the :class:`PlannedOp` wrapper.
+
+    The drivers call this once per simulated operation; returning the
+    plain ``(op, size)`` pair skips a dataclass construction the hot
+    loop would immediately unpack.
+    """
+    if type(weights) is PreparedWeights:
+        op = rng.weighted_choice_prepared(weights)
+    else:
+        op = pick_operation(rng, weights)
+    if op is Operation.READ or op is Operation.WRITE or op is Operation.EXTEND:
+        return op, sample_rw_size(rng, file_type)
+    if op is Operation.TRUNCATE:
+        return op, max(1, file_type.truncate_size_bytes)
+    # DELETE: size is the replacement file's initial size
+    return op, sample_initial_size(rng, file_type)
 
 
 def pick_offset(

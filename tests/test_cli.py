@@ -157,6 +157,33 @@ class TestCommands:
         assert "repro.disk.queue" in out
         assert "cProfile" in out
 
+    def test_profile_sort_and_limit_flags(self, capsys):
+        code = main(
+            [
+                "profile",
+                "--policy",
+                "extent",
+                "--workload",
+                "SC",
+                "--scale",
+                "0.03",
+                "--cap-ms",
+                "4000",
+                "--sort",
+                "cumtime",
+                "--limit",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 5 functions by cumulative time" in out
+        assert "Ordered by: cumulative time" in out
+
+    def test_profile_rejects_unknown_sort(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "--sort", "ncalls"])
+
     def test_faults_runs_and_reports_degraded_mode(self, capsys):
         code = main(
             [

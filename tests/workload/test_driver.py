@@ -92,6 +92,86 @@ class TestDriver:
         assert counts[0] == counts[1]
 
 
+class TestDeleteSemantics:
+    """Population delete must remove the chosen object, not the first
+    content-equal entry (the former dataclass ``__eq__`` + ``list.remove``
+    combination's failure mode once two files look alike)."""
+
+    def test_fsfile_compares_by_identity(self):
+        sim, fs = make_fs()
+        first = fs.create(size_hint_bytes=8 * KIB, tag="twin")
+        second = fs.create(size_hint_bytes=8 * KIB, tag="twin")
+        fs.allocate_to(first, 8 * KIB)
+        fs.allocate_to(second, 8 * KIB)
+        first.length_bytes = second.length_bytes = 8 * KIB
+        # Observably identical, still different files.
+        assert first.tag == second.tag
+        assert first.length_bytes == second.length_bytes
+        assert first != second
+        assert hash(first) != hash(second) or first is second
+        assert first == first
+
+    def test_delete_removes_exact_object(self):
+        sim, fs = make_fs()
+        driver = WorkloadDriver(sim, fs, mini(n_files=6), seed=5)
+        driver.populate()
+        file_type = driver.profile.types[0]
+        population = driver.files[file_type.name]
+        victim = population[3]
+        survivor_twin = population[1]
+        # Make an *earlier* entry observably identical to the victim:
+        # a first-equal scan would remove the twin instead.
+        survivor_twin.length_bytes = victim.length_bytes
+        survivor_twin.cursor_bytes = victim.cursor_bytes
+
+        def churn():
+            yield from driver._do_delete(
+                file_type, victim, population, 3, 4 * KIB
+            )
+
+        sim.process(churn())
+        sim.run()
+        assert victim.fs_id not in fs.files
+        assert survivor_twin.fs_id in fs.files
+        assert survivor_twin in population
+        assert victim not in population
+        assert len(population) == 6
+
+    def test_churn_timeline_matches_pre_rework_capture(self):
+        """The full churn timeline is bit-identical to the pre-rework code.
+
+        The digests below were captured from the repo *before* the
+        identity-semantics / positional-pop rework (a TS run with 181
+        deletes): same seed, same audit cadence.  A delete that ever
+        picks a different victim, or any reordering of the event stream,
+        changes every subsequent fingerprint.
+        """
+        from repro import AuditConfig, ExperimentConfig, SystemConfig
+        from repro.core.configs import RestrictedPolicy
+        from repro.core.experiments import run_performance_experiment
+
+        result = run_performance_experiment(
+            ExperimentConfig(
+                policy=RestrictedPolicy(),
+                workload="TS",
+                system=SystemConfig(scale=0.01),
+                seed=11,
+            ),
+            audit=AuditConfig(fingerprints=True, cadence_events=1_000),
+            app_cap_ms=600.0,
+            seq_cap_ms=600.0,
+        )
+        fingerprints = result.fingerprints
+        assert result.operation_counts["delete"] == 181
+        assert len(fingerprints) == 14
+        assert fingerprints[0].digest == (
+            "3392eb89e6c2fa92ba1b6560b082b4cc8692ddf30e44b2f96ddb20f5f5319583"
+        )
+        assert fingerprints[-1].digest == (
+            "96838e6c97f80d1d9c067be3943ce0a3ec6af97b444c70234afb8dfa984d7ef0"
+        )
+
+
 class TestAllocationTest:
     def test_runs_to_disk_full(self):
         # Start near-full (like the paper's tests) so extends finish the job;
