@@ -63,6 +63,7 @@ from .report.summary import (
     render_performance_summary,
 )
 from .report.tables import Table
+from .serve import ExperimentService, make_daemon, task_to_spec
 from .units import MIB
 
 POLICY_NAMES = ("buddy", "restricted", "extent", "fixed", "lfs", "ffs")
@@ -414,6 +415,178 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the experiment service daemon until interrupted.
+
+    The state directory is the unit of durability: restart on the same
+    ``--state-dir`` after any crash (including SIGKILL) and the service
+    recovers its accepted-but-unfinished jobs from the run ledger and
+    finishes them bit-identically.
+    """
+    import signal
+
+    service = ExperimentService(
+        args.state_dir,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        jitter_seed=args.jitter_seed,
+    )
+    service.start()
+    daemon = make_daemon(
+        service,
+        host=args.host,
+        port=args.port,
+        chaos=args.chaos,
+        quiet=not args.verbose,
+    )
+    host, port = daemon.server_address[:2]
+    print(
+        f"serve: listening on http://{host}:{port} "
+        f"(state {args.state_dir}, {args.workers} workers, "
+        f"budget {args.max_queue}"
+        f"{', CHAOS ENDPOINTS ENABLED' if args.chaos else ''})",
+        file=sys.stderr,
+        flush=True,
+    )
+    if service.stats.recovered:
+        print(
+            f"serve: recovered {service.stats.recovered} unfinished job(s) "
+            "from the ledger",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    # A container stop sends SIGTERM; fold it into the KeyboardInterrupt
+    # path so both shut down identically.
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        daemon.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.server_close()
+        service.stop()
+    print("serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _http_json(
+    url: str, body: dict | None = None, timeout_s: float = 630.0
+) -> tuple[int, dict]:
+    """POST (or GET when ``body`` is None) a JSON document; never raise
+    on HTTP error statuses — the status code is part of the protocol."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        try:
+            return error.code, json.loads(error.read())
+        except ValueError:
+            return error.code, {"error": str(error)}
+    except (urllib.error.URLError, OSError) as error:
+        raise ReproError(f"cannot reach {url}: {error}") from None
+
+
+def _follow_events(base_url: str, key: str) -> None:
+    """Stream a job's SSE events to stderr until the terminal event."""
+    import urllib.request
+
+    url = f"{base_url}/v1/jobs/{key}/events"
+    with urllib.request.urlopen(url, timeout=630.0) as stream:
+        event_name = None
+        for raw in stream:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("event: "):
+                event_name = line[len("event: "):]
+            elif line.startswith("data: "):
+                print(f"event[{event_name}]: {line[len('data: '):]}",
+                      file=sys.stderr)
+                if event_name == "done":
+                    return
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one experiment to a running ``repro serve`` daemon.
+
+    The spec is built locally from the same flags ``perf``/``alloc``
+    use (or loaded verbatim from ``--spec FILE``), so a submission is
+    validated client-side before it travels.  Exit status: 0 done,
+    1 the job failed, 9 still running (no/expired ``--wait``),
+    75 shed by admission control (EX_TEMPFAIL — retry later).
+    """
+    if args.spec:
+        text = (
+            sys.stdin.read()
+            if args.spec == "-"
+            else Path(args.spec).read_text()
+        )
+        spec = json.loads(text)
+    else:
+        system = SystemConfig(scale=args.scale, organization=args.organization)
+        policy = make_policy(args.policy, args.workload, args)
+        faults = parse_fault_spec(args.inject) if args.inject else None
+        config = ExperimentConfig(
+            policy=policy, workload=args.workload, system=system,
+            seed=args.seed, faults=faults,
+        )
+        if args.kind == "alloc":
+            task = ExperimentTask.allocation(config)
+        else:
+            task = ExperimentTask.performance(
+                config,
+                app_cap_ms=args.cap_ms,
+                seq_cap_ms=args.cap_ms,
+                audit=AuditConfig(fingerprints=True)
+                if args.fingerprints
+                else None,
+            )
+        spec = task_to_spec(task)
+
+    base = args.url.rstrip("/")
+    status, body = _http_json(
+        f"{base}/v1/experiments",
+        {"spec": spec, "priority": args.priority, "wait_s": args.wait},
+    )
+    if status == 429:
+        print(
+            f"submit: shed by admission control "
+            f"(depth {body.get('depth')}/{body.get('budget')}); "
+            f"retry in ~{body.get('retry_after_s', 1):.0f}s",
+            file=sys.stderr,
+        )
+        return 75
+    if status not in (200, 202):
+        raise ReproError(f"submit failed ({status}): {body.get('error', body)}")
+
+    key = body.get("job", "")
+    print(f"submit: job {key} {body.get('submitted')} -> {body.get('status')}",
+          file=sys.stderr)
+    if args.follow and body.get("status") not in ("done", "failed"):
+        _follow_events(base, key)
+        _, body = _http_json(f"{base}/v1/jobs/{key}")
+    print(json.dumps(body, indent=2, sort_keys=True))
+    if body.get("status") == "done":
+        return 0
+    if body.get("status") == "failed":
+        return 1
+    return 9
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     system = SystemConfig()
     table = Table(["Parameter", "Value"], title="Table 1: the simulated disk system")
@@ -609,6 +782,69 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a JSON summary (span counts, phase "
                             "percentages, metrics) to stdout")
     trace.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment service daemon (HTTP/JSON, durable, "
+             "single-flight)",
+    )
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="durable state root (run ledger + result "
+                            "store); restart on the same DIR to recover "
+                            "in-flight work")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes executing experiments")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="admission budget: jobs queued or running "
+                            "before requests shed with 429 + Retry-After")
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job wall-clock timeout (hung workers are "
+                            "killed; the job retries per --retries)")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="extra attempts after a worker crash or timeout")
+    serve.add_argument("--jitter-seed", type=int, default=0,
+                       help="seeds the deterministic retry-backoff jitter")
+    serve.add_argument("--chaos", action="store_true",
+                       help="enable the fault-drill endpoints "
+                            "(POST /v1/chaos/kill-worker)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one experiment to a running serve daemon",
+    )
+    add_base(submit)
+    add_policy(submit)
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="base URL of the serve daemon")
+    submit.add_argument("--kind", choices=("perf", "alloc"), default="perf")
+    submit.add_argument("--cap-ms", type=float, default=60_000.0,
+                        help="simulated-time cap per phase (perf only)")
+    submit.add_argument("--organization", choices=ORGANIZATIONS,
+                        default="striped")
+    submit.add_argument("--inject", default=None, metavar="CLAUSES",
+                        help="fault plan (same grammar as perf --inject)")
+    submit.add_argument("--fingerprints", action="store_true",
+                        help="request audit fingerprints (the bit-identity "
+                             "witness) with the result")
+    submit.add_argument("--spec", default=None, metavar="FILE",
+                        help="submit this JSON spec file verbatim "
+                             "('-' reads stdin) instead of building one "
+                             "from flags")
+    submit.add_argument("--priority", choices=("high", "normal", "low"),
+                        default="normal")
+    submit.add_argument("--wait", type=float, default=None, metavar="SECONDS",
+                        help="block until the job finishes (bounded)")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the job's SSE telemetry to stderr "
+                             "until it finishes")
+    submit.set_defaults(func=cmd_submit)
 
     table1 = sub.add_parser("table1", help="print the simulated disk system")
     table1.set_defaults(func=cmd_table1)

@@ -107,7 +107,14 @@ class SweepCheckpoint:
         self.flush()
 
     def flush(self) -> None:
-        """Atomically rewrite the manifest snapshot."""
+        """Atomically rewrite the manifest snapshot (fsynced).
+
+        The temp file is fsynced before the rename: ``os.replace`` alone
+        guarantees readers never see a *torn* manifest, but after a power
+        cut the rename can survive while the data does not — a SIGKILL
+        (or outage) right after ``flush`` returns must never leave an
+        empty or stale manifest claiming points that were lost.
+        """
         from .runner import CACHE_FORMAT_VERSION  # local import avoids a cycle
 
         payload = {
@@ -122,6 +129,8 @@ class SweepCheckpoint:
         )
         with open(temp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=0)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp, self.manifest_path)
 
     @property

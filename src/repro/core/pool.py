@@ -1,10 +1,26 @@
-"""Supervised worker pool: timeouts, crash isolation, bounded retries.
+"""Supervised worker execution: process management + task scheduling.
 
 ``concurrent.futures.ProcessPoolExecutor`` cannot kill an individual
 worker (a hung task hangs the sweep) and a worker that dies abruptly
 poisons the whole pool (``BrokenProcessPool`` loses every in-flight
-task).  Long sweeps need stronger guarantees, so :class:`SupervisedPool`
-manages its own ``spawn`` processes over pipes:
+task).  Long sweeps — and the long-running experiment service built on
+top of them — need stronger guarantees, so this module manages its own
+``spawn`` processes over pipes, split into two layers:
+
+* :class:`WorkerCrew` — **process management only**.  Spawns workers,
+  ships assignments over pipes, collects results and progress frames,
+  detects crashed workers, enforces per-assignment wall-clock deadlines
+  (killing the worker), and replaces casualties.  It has no opinion
+  about *which* task runs next or whether a failure should retry.
+* :class:`TaskScheduler` — **scheduling policy only**.  Owns the pending
+  queue and the retry/backoff state, decides dispatch order, and turns
+  crew failures into either a deterministic backoff retry or a final
+  error outcome.  Tasks can be fed incrementally (:meth:`~TaskScheduler.add`
+  at any time), which is what lets a network service pour requests into
+  the same machinery a local sweep uses.
+
+:class:`SupervisedPool` composes the two behind the original one-shot
+``run(items)`` API and keeps its guarantees:
 
 * **Wall-clock timeouts** — a task that exceeds ``timeout_s`` has its
   worker killed and is retried or reported, while sibling tasks keep
@@ -14,11 +30,10 @@ manages its own ``spawn`` processes over pipes:
   replacement worker is spawned.  No task is ever lost.
 * **Bounded retries with seeded backoff** — crashes and timeouts retry
   up to ``retries`` times with exponential backoff plus deterministic
-  jitter (derived from :class:`~repro.sim.rng.RandomStream`, so two runs
-  of the same sweep back off identically).  Ordinary task exceptions are
-  *not* retried: the simulation is deterministic, so a failing
-  configuration fails identically every time — those travel back as
-  structured errors instead.
+  jitter (see :func:`backoff_delay`: two runs of the same sweep back off
+  identically).  Ordinary task exceptions are *not* retried: the
+  simulation is deterministic, so a failing configuration fails
+  identically every time — those travel back as structured errors.
 
 Results are yielded as ``(index, task, (status, payload, elapsed_s))``
 in completion order; the caller reorders by index, which keeps parallel
@@ -75,6 +90,33 @@ def _pool_worker_main(conn) -> None:  # pragma: no cover - child process
         return
 
 
+def backoff_delay(
+    jitter_seed: int, index: int, attempt: int, base_s: float
+) -> float:
+    """The deterministic delay before retry ``attempt + 1`` of a task.
+
+    Exponential in the attempt number plus seeded jitter: the jitter
+    stream is derived purely from ``(jitter_seed, index, attempt)``, so
+    two runs of the same sweep — or a service restart replaying the same
+    request — produce the identical backoff schedule.
+    """
+    delay = base_s * (2.0**attempt)
+    jitter = RandomStream(
+        jitter_seed, f"retry/{index}/{attempt}"
+    ).uniform(0.0, 0.5 * delay)
+    return delay + jitter
+
+
+def backoff_schedule(
+    jitter_seed: int, index: int, retries: int, base_s: float
+) -> list[float]:
+    """Every retry delay a task could experience, in attempt order."""
+    return [
+        backoff_delay(jitter_seed, index, attempt, base_s)
+        for attempt in range(retries)
+    ]
+
+
 @dataclass
 class _Assignment:
     """One task attempt in flight on a worker."""
@@ -106,8 +148,434 @@ class PoolStats:
     details: list[str] = field(default_factory=list)
 
 
+@dataclass
+class CrewEvent:
+    """One terminal thing that happened to an in-flight assignment.
+
+    ``kind`` is ``"done"`` (the worker reported an outcome — including a
+    task exception, which is terminal and never retried) or ``"failed"``
+    (the *worker* failed: crash or deadline kill; the scheduler decides
+    whether the task retries).
+    """
+
+    kind: str
+    assignment: _Assignment
+    outcome: tuple[str, Any, float] | None = None
+    detail: str | None = None
+
+
+class WorkerCrew:
+    """Process management: spawned workers, pipes, deadlines, casualties.
+
+    The crew knows nothing about queues, priorities, or retry policy —
+    it accepts one assignment per idle worker, reports
+    :class:`CrewEvent`s from :meth:`poll`, and keeps its worker count
+    stable by replacing the dead.  Both the one-shot
+    :class:`SupervisedPool` and the long-running experiment service
+    drive the same crew.
+
+    Args:
+        work_fn: picklable callable applied to each assignment payload
+            in a worker; its return value travels back verbatim.
+        timeout_s: per-assignment wall-clock budget enforced by the
+            crew (the worker is killed at the deadline); ``None``
+            disables.
+        telemetry: optional ``(task index, frame)`` callback for the
+            progress frames workers stream alongside their results.
+        stats: shared :class:`PoolStats` to increment; a private one is
+            created when omitted.
+    """
+
+    def __init__(
+        self,
+        work_fn: Callable[[Any], Any],
+        timeout_s: float | None = None,
+        telemetry: Callable[[int, dict], None] | None = None,
+        stats: PoolStats | None = None,
+    ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError(f"timeout must be positive: {timeout_s}")
+        self.work_fn = work_fn
+        self.timeout_s = timeout_s
+        self.telemetry = telemetry
+        self.stats = stats if stats is not None else PoolStats()
+        self._context = get_context("spawn")
+        self._workers: dict[Any, tuple[Any, _Assignment | None]] = {}
+
+    # -- sizing --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Living worker processes (busy + idle)."""
+        return len(self._workers)
+
+    @property
+    def busy(self) -> int:
+        """Workers currently running an assignment."""
+        return sum(
+            1 for _, assignment in self._workers.values() if assignment is not None
+        )
+
+    @property
+    def idle(self) -> int:
+        """Workers ready for an assignment."""
+        return self.size - self.busy
+
+    def ensure_workers(self, n: int) -> None:
+        """Spawn workers until at least ``n`` are alive."""
+        while self.size < n:
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._workers[parent_conn] = (process, None)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def try_assign(self, index: int, payload: Any, attempt: int = 0) -> bool:
+        """Ship one task to an idle worker; False when none is idle."""
+        while True:
+            idle = next(
+                (
+                    conn
+                    for conn, (_, assignment) in self._workers.items()
+                    if assignment is None
+                ),
+                None,
+            )
+            if idle is None:
+                return False
+            process, _ = self._workers[idle]
+            deadline = (
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            )
+            try:
+                idle.send((self.work_fn, payload))
+            except OSError:
+                # The worker died before its first assignment (startup
+                # import failure, OOM kill): replace it and retry on the
+                # replacement rather than poisoning the caller with a
+                # broken pipe.
+                self.stats.workers_replaced += 1
+                self.stats.details.append(
+                    f"worker pid {process.pid} unreachable at dispatch; replaced"
+                )
+                process.kill()
+                process.join()
+                idle.close()
+                del self._workers[idle]
+                self._spawn_worker()
+                continue
+            self._workers[idle] = (
+                process,
+                _Assignment(index, payload, attempt, deadline),
+            )
+            return True
+
+    def kill_one(self) -> int | None:
+        """SIGKILL one busy worker (chaos hook); returns its task index.
+
+        The kill is observed by the next :meth:`poll` as an ordinary
+        worker crash — the worker is replaced and the scheduler's retry
+        policy applies — which is exactly what makes it useful for
+        fault drills: the recovery path exercised is the real one.
+        """
+        for _, (process, assignment) in self._workers.items():
+            if assignment is None:
+                continue
+            process.kill()
+            return assignment.index
+        return None
+
+    # -- supervision ---------------------------------------------------------
+
+    def next_deadline(self) -> float | None:
+        """The earliest in-flight deadline (monotonic), if any."""
+        deadlines = [
+            a.deadline
+            for _, a in self._workers.values()
+            if a is not None and a.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def poll(self, timeout_s: float) -> list[CrewEvent]:
+        """One supervision step: collect results, reap the dead, enforce
+        deadlines.  Blocks up to ``timeout_s`` waiting for activity."""
+        events: list[CrewEvent] = []
+        busy = [
+            conn
+            for conn, (_, assignment) in self._workers.items()
+            if assignment is not None
+        ]
+        now = time.monotonic()
+        wait = timeout_s
+        deadline = self.next_deadline()
+        if deadline is not None:
+            wait = min(wait, max(0.0, deadline - now))
+        if busy:
+            readable = connection_wait(busy, timeout=wait)
+        else:
+            if wait > 0:
+                time.sleep(wait)
+            readable = []
+
+        for conn in readable:
+            process, assignment = self._workers[conn]
+            started = (
+                assignment.deadline - self.timeout_s
+                if assignment.deadline is not None
+                else None
+            )
+            elapsed = (
+                time.monotonic() - started if started is not None else 0.0
+            )
+            finished = None
+            try:
+                # Drain progress frames queued ahead of the result; the
+                # assignment stays in flight until a terminal message
+                # ("done"/"raised") arrives, so timeouts and crash
+                # detection still see the task as running.
+                while True:
+                    kind, payload = conn.recv()
+                    if kind == "progress":
+                        if self.telemetry is not None:
+                            self.telemetry(assignment.index, payload)
+                        if not conn.poll():
+                            break
+                    else:
+                        finished = (kind, payload)
+                        break
+            except (EOFError, OSError):
+                # Died between finishing and reporting: treat as a crash
+                # (caught by the liveness check below).
+                continue
+            if finished is None:
+                continue
+            kind, payload = finished
+            self._workers[conn] = (process, None)
+            if kind == "done":
+                events.append(CrewEvent("done", assignment, outcome=payload))
+            else:
+                events.append(
+                    CrewEvent(
+                        "done",
+                        assignment,
+                        outcome=("error", payload, elapsed),
+                    )
+                )
+
+        now = time.monotonic()
+        for conn, (process, assignment) in list(self._workers.items()):
+            if assignment is None:
+                continue
+            if not process.is_alive():
+                self.stats.crashes += 1
+                self.stats.workers_replaced += 1
+                detail = (
+                    f"worker pid {process.pid} died (exitcode "
+                    f"{process.exitcode}) running task {assignment.index}"
+                )
+                self.stats.details.append(detail)
+                conn.close()
+                del self._workers[conn]
+                self._spawn_worker()
+                events.append(CrewEvent("failed", assignment, detail=detail))
+            elif assignment.deadline is not None and now >= assignment.deadline:
+                self.stats.timeouts += 1
+                self.stats.workers_replaced += 1
+                detail = (
+                    f"task {assignment.index} exceeded its {self.timeout_s:g}s "
+                    f"wall-clock timeout; worker pid {process.pid} killed"
+                )
+                self.stats.details.append(detail)
+                process.kill()
+                process.join()
+                conn.close()
+                del self._workers[conn]
+                self._spawn_worker()
+                events.append(CrewEvent("failed", assignment, detail=detail))
+        return events
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite sentinel first, SIGKILL stragglers.
+
+        Safe to call repeatedly and from ``finally`` blocks; guarantees
+        every spawned child is reaped (joined) and every pipe closed no
+        matter how the caller exited, so repeated in-process crews leak
+        neither processes nor descriptors.
+        """
+        for conn, (process, _) in self._workers.items():
+            try:
+                conn.send(None)
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for conn, (process, _) in self._workers.items():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.kill()
+                process.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+
+
+class TaskScheduler:
+    """Scheduling policy over a :class:`WorkerCrew`: queueing + retries.
+
+    Tasks enter through :meth:`add` — up front for a one-shot sweep, or
+    continuously from a network front door — and leave as outcome
+    triples from :meth:`step`.  Worker failures (crash, deadline kill)
+    consult the retry budget and re-queue after a deterministic backoff;
+    task exceptions are terminal.
+
+    Args:
+        crew: the worker crew to drive.
+        retries: extra attempts granted after a crash or timeout.
+        backoff_base_s: first retry delay; doubles per attempt.
+        jitter_seed: seeds the deterministic backoff jitter.
+    """
+
+    def __init__(
+        self,
+        crew: WorkerCrew,
+        retries: int = 0,
+        backoff_base_s: float = 0.5,
+        jitter_seed: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0: {retries}")
+        self.crew = crew
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.jitter_seed = jitter_seed
+        self.stats = crew.stats
+        self._queue: deque[tuple[int, Any, int]] = deque()
+        self._retries: list[_Retry] = []
+        self._outstanding = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def add(self, index: int, payload: Any) -> None:
+        """Enqueue one task; callable at any time, including mid-run."""
+        self._queue.append((index, payload, 0))
+        self._outstanding += 1
+
+    @property
+    def outstanding(self) -> int:
+        """Tasks accepted but not yet resolved into an outcome."""
+        return self._outstanding
+
+    @property
+    def queued(self) -> int:
+        """Tasks waiting for a worker (excluding backoff waits)."""
+        return len(self._queue)
+
+    @property
+    def has_capacity(self) -> bool:
+        """True when a newly added task could dispatch immediately."""
+        return self.crew.idle > 0 and not self._queue and not self._retries
+
+    # -- one supervision step ------------------------------------------------
+
+    def step(
+        self, max_wait_s: float = _POLL_INTERVAL_S
+    ) -> list[tuple[int, Any, tuple[str, Any, float]]]:
+        """Promote retries, dispatch, poll the crew once; return outcomes.
+
+        Blocks at most ``max_wait_s`` (less when a deadline or a backoff
+        expiry lands sooner).  An empty return just means nothing
+        finished this step.
+        """
+        self._promote_ready_retries()
+        self._dispatch()
+        outcomes: list[tuple[int, Any, tuple[str, Any, float]]] = []
+        for event in self.crew.poll(self._wait_budget(max_wait_s)):
+            if event.kind == "done":
+                self._outstanding -= 1
+                outcomes.append(
+                    (event.assignment.index, event.assignment.payload, event.outcome)
+                )
+            else:
+                outcome = self._retry_or_fail(event.assignment, event.detail)
+                if outcome is not None:
+                    self._outstanding -= 1
+                    outcomes.append(outcome)
+        return outcomes
+
+    # -- internals -----------------------------------------------------------
+
+    def _wait_budget(self, max_wait_s: float) -> float:
+        now = time.monotonic()
+        wake = now + max_wait_s
+        for r in self._retries:
+            wake = min(wake, r.ready_at)
+        # If work is queued but every worker is busy, the crew's poll
+        # will return as soon as one frees up; deadlines are handled by
+        # the crew itself.
+        return max(0.0, wake - now)
+
+    def _promote_ready_retries(self) -> None:
+        now = time.monotonic()
+        ready = [r for r in self._retries if r.ready_at <= now]
+        for r in sorted(ready, key=lambda r: (r.ready_at, r.index)):
+            self._retries.remove(r)
+            self._queue.append((r.index, r.payload, r.attempt))
+
+    def _dispatch(self) -> None:
+        while self._queue:
+            index, payload, attempt = self._queue[0]
+            if not self.crew.try_assign(index, payload, attempt):
+                return
+            self._queue.popleft()
+
+    def _retry_or_fail(
+        self, assignment: _Assignment, detail: str
+    ) -> tuple[int, Any, tuple[str, Any, float]] | None:
+        if assignment.attempt < self.retries:
+            self.stats.retries += 1
+            delay = backoff_delay(
+                self.jitter_seed,
+                assignment.index,
+                assignment.attempt,
+                self.backoff_base_s,
+            )
+            self._retries.append(
+                _Retry(
+                    ready_at=time.monotonic() + delay,
+                    index=assignment.index,
+                    payload=assignment.payload,
+                    attempt=assignment.attempt + 1,
+                )
+            )
+            return None
+        return (
+            assignment.index,
+            assignment.payload,
+            (
+                "error",
+                f"{detail} (after {assignment.attempt + 1} attempt(s), "
+                f"retries exhausted)",
+                0.0,
+            ),
+        )
+
+
 class SupervisedPool:
     """Run tasks on supervised spawn workers; survive hangs and crashes.
+
+    A thin one-shot facade over :class:`WorkerCrew` +
+    :class:`TaskScheduler` preserving the original API: construct, call
+    :meth:`run` once with every item, iterate outcomes.
 
     Args:
         work_fn: picklable callable applied to each task payload in a
@@ -145,10 +613,6 @@ class SupervisedPool:
         self.jitter_seed = jitter_seed
         self.telemetry = telemetry
         self.stats = PoolStats()
-        self._context = get_context("spawn")
-        self._workers: dict[Any, tuple[Any, _Assignment | None]] = {}
-
-    # -- public API ---------------------------------------------------------
 
     def run(
         self, items: Sequence[tuple[int, Any]]
@@ -160,197 +624,23 @@ class SupervisedPool:
         human-readable failure description (task exception traceback,
         crash report, or timeout report).
         """
-        queue: deque[tuple[int, Any, int]] = deque(
-            (index, payload, 0) for index, payload in items
+        crew = WorkerCrew(
+            self.work_fn,
+            timeout_s=self.timeout_s,
+            telemetry=self.telemetry,
+            stats=self.stats,
         )
-        retries: list[_Retry] = []
-        outstanding = len(queue)
+        scheduler = TaskScheduler(
+            crew,
+            retries=self.retries,
+            backoff_base_s=self.backoff_base_s,
+            jitter_seed=self.jitter_seed,
+        )
+        for index, payload in items:
+            scheduler.add(index, payload)
         try:
-            for _ in range(min(self.n_workers, len(queue))):
-                self._spawn_worker()
-            while outstanding > 0:
-                self._promote_ready_retries(retries, queue)
-                self._assign_idle_workers(queue)
-                for event in self._poll(queue, retries):
-                    outstanding -= 1
-                    yield event
+            crew.ensure_workers(min(self.n_workers, scheduler.outstanding))
+            while scheduler.outstanding > 0:
+                yield from scheduler.step()
         finally:
-            self._shutdown()
-
-    # -- supervision internals ----------------------------------------------
-
-    def _spawn_worker(self) -> None:
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(
-            target=_pool_worker_main, args=(child_conn,), daemon=True
-        )
-        process.start()
-        child_conn.close()
-        self._workers[parent_conn] = (process, None)
-
-    def _assign_idle_workers(self, queue: deque) -> None:
-        for conn, (process, assignment) in list(self._workers.items()):
-            if assignment is not None or not queue:
-                continue
-            index, payload, attempt = queue.popleft()
-            deadline = (
-                time.monotonic() + self.timeout_s
-                if self.timeout_s is not None
-                else None
-            )
-            conn.send((self.work_fn, payload))
-            self._workers[conn] = (
-                process,
-                _Assignment(index, payload, attempt, deadline),
-            )
-
-    def _promote_ready_retries(self, retries: list[_Retry], queue: deque) -> None:
-        now = time.monotonic()
-        ready = [r for r in retries if r.ready_at <= now]
-        for r in sorted(ready, key=lambda r: (r.ready_at, r.index)):
-            retries.remove(r)
-            queue.append((r.index, r.payload, r.attempt))
-
-    def _next_wakeup(self, retries: list[_Retry]) -> float:
-        """Seconds to sleep in ``connection.wait`` before re-checking."""
-        now = time.monotonic()
-        wake = now + _POLL_INTERVAL_S
-        for _, assignment in self._workers.values():
-            if assignment is not None and assignment.deadline is not None:
-                wake = min(wake, assignment.deadline)
-        for r in retries:
-            wake = min(wake, r.ready_at)
-        return max(0.0, wake - now)
-
-    def _poll(self, queue: deque, retries: list[_Retry]):
-        """One supervision step: collect results, reap the dead, enforce
-        deadlines.  Yields finished outcomes."""
-        busy = [
-            conn
-            for conn, (_, assignment) in self._workers.items()
-            if assignment is not None
-        ]
-        if busy:
-            readable = connection_wait(busy, timeout=self._next_wakeup(retries))
-        else:
-            # Everything in flight is waiting out a backoff.
-            time.sleep(self._next_wakeup(retries))
-            readable = []
-
-        for conn in readable:
-            process, assignment = self._workers[conn]
-            started = (
-                assignment.deadline - self.timeout_s
-                if assignment.deadline is not None
-                else None
-            )
-            elapsed = (
-                time.monotonic() - started if started is not None else 0.0
-            )
-            finished = None
-            try:
-                # Drain progress frames queued ahead of the result; the
-                # assignment stays in flight until a terminal message
-                # ("done"/"raised") arrives, so timeouts and crash
-                # detection still see the task as running.
-                while True:
-                    kind, payload = conn.recv()
-                    if kind == "progress":
-                        if self.telemetry is not None:
-                            self.telemetry(assignment.index, payload)
-                        if not conn.poll():
-                            break
-                    else:
-                        finished = (kind, payload)
-                        break
-            except (EOFError, OSError):
-                # Died between finishing and reporting: treat as a crash.
-                continue
-            if finished is None:
-                continue
-            kind, payload = finished
-            self._workers[conn] = (process, None)
-            if kind == "done":
-                yield assignment.index, assignment.payload, payload
-            else:
-                yield (
-                    assignment.index,
-                    assignment.payload,
-                    ("error", payload, elapsed),
-                )
-
-        now = time.monotonic()
-        for conn, (process, assignment) in list(self._workers.items()):
-            if assignment is None:
-                continue
-            if not process.is_alive():
-                self.stats.crashes += 1
-                self.stats.workers_replaced += 1
-                detail = (
-                    f"worker pid {process.pid} died (exitcode "
-                    f"{process.exitcode}) running task {assignment.index}"
-                )
-                self.stats.details.append(detail)
-                conn.close()
-                del self._workers[conn]
-                self._spawn_worker()
-                yield from self._retry_or_fail(assignment, detail, retries)
-            elif assignment.deadline is not None and now >= assignment.deadline:
-                self.stats.timeouts += 1
-                self.stats.workers_replaced += 1
-                detail = (
-                    f"task {assignment.index} exceeded its {self.timeout_s:g}s "
-                    f"wall-clock timeout; worker pid {process.pid} killed"
-                )
-                self.stats.details.append(detail)
-                process.kill()
-                process.join()
-                conn.close()
-                del self._workers[conn]
-                self._spawn_worker()
-                yield from self._retry_or_fail(assignment, detail, retries)
-
-    def _retry_or_fail(
-        self, assignment: _Assignment, detail: str, retries: list[_Retry]
-    ):
-        if assignment.attempt < self.retries:
-            self.stats.retries += 1
-            delay = self.backoff_base_s * (2.0**assignment.attempt)
-            jitter = RandomStream(
-                self.jitter_seed,
-                f"retry/{assignment.index}/{assignment.attempt}",
-            ).uniform(0.0, 0.5 * delay)
-            retries.append(
-                _Retry(
-                    ready_at=time.monotonic() + delay + jitter,
-                    index=assignment.index,
-                    payload=assignment.payload,
-                    attempt=assignment.attempt + 1,
-                )
-            )
-            return
-        yield (
-            assignment.index,
-            assignment.payload,
-            (
-                "error",
-                f"{detail} (after {assignment.attempt + 1} attempt(s), "
-                f"retries exhausted)",
-                0.0,
-            ),
-        )
-
-    def _shutdown(self) -> None:
-        for conn, (process, _) in self._workers.items():
-            try:
-                conn.send(None)
-            except (OSError, BrokenPipeError):
-                pass
-        deadline = time.monotonic() + 2.0
-        for conn, (process, _) in self._workers.items():
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if process.is_alive():
-                process.kill()
-                process.join()
-            conn.close()
-        self._workers.clear()
+            crew.shutdown()

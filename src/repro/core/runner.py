@@ -42,6 +42,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import pickle
@@ -173,6 +174,10 @@ def _freeze_kwargs(kwargs: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
 #: Magic prefix of a checksummed cache entry (version in the tag).
 _CACHE_MAGIC = b"RPRC2\n"
 
+#: Per-process serial for temp-file names: two threads of one process
+#: storing the same key concurrently must never share a temp path.
+_TEMP_SERIAL = itertools.count()
+
 
 class ResultCache:
     """Pickle-per-key result store with atomic, checksummed writes.
@@ -239,17 +244,33 @@ class ResultCache:
         )
 
     def store(self, key: str, result: Any) -> None:
-        """Persist ``result`` under ``key`` (atomic rename, last wins)."""
+        """Persist ``result`` under ``key`` (atomic rename, last wins).
+
+        Safe under concurrent writers: every writer gets a unique temp
+        file (pid alone is not enough — the experiment service races
+        multiple threads of one process on the same key), the payload is
+        fsynced before the rename, and ``os.replace`` is atomic, so a
+        reader (or a crash at any instant) sees either the old complete
+        entry or the new complete entry, never a torn one.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         final = self.path(key)
-        temp = final.with_name(f"{final.name}.{os.getpid()}.tmp")
+        temp = final.with_name(
+            f"{final.name}.{os.getpid()}.{next(_TEMP_SERIAL)}.tmp"
+        )
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest().encode()
-        with open(temp, "wb") as handle:
-            handle.write(_CACHE_MAGIC)
-            handle.write(digest)
-            handle.write(payload)
-        os.replace(temp, final)
+        try:
+            with open(temp, "wb") as handle:
+                handle.write(_CACHE_MAGIC)
+                handle.write(digest)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, final)
+        finally:
+            with contextlib.suppress(OSError):
+                temp.unlink()
 
 
 # ---------------------------------------------------------------------------
@@ -462,7 +483,6 @@ class ExperimentRunner:
         except KeyboardInterrupt:
             # Flush what we have and report how far we got; the CLI maps
             # this to the conventional exit code 130.
-            finished.close()
             if self.checkpoint is not None:
                 self.checkpoint.flush()
             self.stats.elapsed_s += time.perf_counter() - started
@@ -472,6 +492,13 @@ class ExperimentRunner:
                 else (self.cache.directory if self.cache else None)
             )
             raise SweepInterrupted(partial_dir, completed, total) from None
+        finally:
+            # Any abnormal exit (interrupt, a failing progress callback,
+            # a cache-store error) must still tear the pool down: closing
+            # the generator runs its ``finally`` and reaps every spawned
+            # worker, so repeated in-process sweeps — the daemon's
+            # steady state — leak no child processes.
+            finished.close()
 
         self.stats.elapsed_s += time.perf_counter() - started
         return [o for o in outcomes if o is not None]

@@ -151,6 +151,35 @@ class InvariantViolation(ReproError):
         )
 
 
+class ServiceError(ReproError):
+    """The experiment service (:mod:`repro.serve`) failed a request."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed a request: the queue budget is exhausted.
+
+    Load shedding is a *success* of the overload design, not a crash:
+    the service bounds its queue and tells the client when to come back
+    instead of queueing unboundedly.  Maps to HTTP 429 with a
+    ``Retry-After`` header.
+
+    Attributes:
+        retry_after_s: suggested client backoff, derived from observed
+            service times and the current backlog.
+        depth: jobs queued or running when the request was shed.
+        budget: the configured admission budget.
+    """
+
+    def __init__(self, retry_after_s: float, depth: int, budget: int) -> None:
+        self.retry_after_s = retry_after_s
+        self.depth = depth
+        self.budget = budget
+        super().__init__(
+            f"service overloaded: {depth} jobs against a budget of "
+            f"{budget}; retry in {retry_after_s:.0f}s"
+        )
+
+
 class InvalidRequestError(ReproError):
     """A disk or file-system request is malformed (bad offset, size, id)."""
 

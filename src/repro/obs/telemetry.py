@@ -24,29 +24,33 @@ off).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, TextIO
 
-_emitter: Callable[[dict], None] | None = None
+#: One emitter slot *per thread*: the experiment service runs multiple
+#: in-process experiments concurrently on different threads, and a
+#: process-global slot would let one run's install/uninstall clobber a
+#: sibling's emitter mid-flight.  Workers and the inline runner install
+#: and emit on the same thread, so they observe the exact old semantics.
+_slots = threading.local()
 
 
 def install_emitter(fn: Callable[[dict], None]) -> None:
-    """Route subsequent :func:`emit` calls to ``fn`` (one emitter at a
-    time; installing replaces)."""
-    global _emitter
-    _emitter = fn
+    """Route this thread's subsequent :func:`emit` calls to ``fn`` (one
+    emitter at a time; installing replaces)."""
+    _slots.emitter = fn
 
 
 def uninstall_emitter() -> None:
     """Disable :func:`emit` again (safe to call when none installed)."""
-    global _emitter
-    _emitter = None
+    _slots.emitter = None
 
 
 def telemetry_enabled() -> bool:
     """True when an emitter is installed (lets hot loops skip building
     frame dicts entirely)."""
-    return _emitter is not None
+    return getattr(_slots, "emitter", None) is not None
 
 
 def emit(frame: dict) -> None:
@@ -56,7 +60,7 @@ def emit(frame: dict) -> None:
     deliberately not caught here: a worker that cannot report is a
     worker the supervisor should reap.
     """
-    fn = _emitter
+    fn = getattr(_slots, "emitter", None)
     if fn is not None:
         fn(frame)
 

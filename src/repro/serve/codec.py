@@ -1,0 +1,276 @@
+"""JSON wire format for experiment requests.
+
+The service accepts *task specs* — plain JSON dicts naming everything an
+:class:`~repro.core.runner.ExperimentTask` needs — and turns them back
+into executable tasks.  The codec is deliberately narrower than the
+Python API: only the fields a remote client may vary are accepted, every
+unknown key is an error (a typo must not silently fall back to a
+default and simulate the wrong experiment), and the round trip is
+stable: ``spec_to_task(task_to_spec(t))`` rebuilds a task with the same
+``cache_key``, which is what makes the ledger's recorded specs a
+faithful crash-recovery record.
+
+A spec looks like::
+
+    {
+      "kind": "performance",                 # or "allocation"
+      "workload": "TS",                      # TS | TP | SC
+      "seed": 7,
+      "policy": {"name": "fixed", "block_size": "4K"},
+      "system": {"scale": 0.02, "organization": "striped"},
+      "faults": "fail:drive=0,at=5000",      # optional --inject grammar
+      "audit": {"fingerprints": true},       # optional AuditConfig fields
+      "kwargs": {"app_cap_ms": 8000.0}       # experiment keyword args
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+from ..audit.invariants import AuditConfig
+from ..core.configs import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FfsPolicy,
+    FixedPolicy,
+    LogStructuredPolicy,
+    PolicyConfig,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from ..core.runner import ExperimentTask
+from ..disk.geometry import WREN_IV
+from ..errors import ConfigurationError
+from ..fault.plan import ALL_DRIVES, FaultSpec, parse_fault_spec
+
+#: Wire names for the policy configurations a spec may request.
+POLICY_CODECS: dict[str, type[PolicyConfig]] = {
+    "buddy": BuddyPolicy,
+    "restricted": RestrictedPolicy,
+    "extent": ExtentPolicy,
+    "fixed": FixedPolicy,
+    "ffs": FfsPolicy,
+    "lfs": LogStructuredPolicy,
+}
+
+#: SystemConfig fields a remote client may set.  ``geometry`` is
+#: deliberately absent: the wire format pins the paper's Wren IV.
+_SYSTEM_FIELDS = (
+    "n_disks",
+    "stripe_unit",
+    "disk_unit",
+    "scale",
+    "queue_discipline",
+    "organization",
+)
+
+#: Experiment kwargs a spec may pass (all JSON scalars).  ``audit`` is
+#: its own top-level spec field because it builds an AuditConfig.
+_KWARG_FIELDS = {
+    "performance": (
+        "app_cap_ms",
+        "seq_cap_ms",
+        "warmup_ms",
+        "collect_trace",
+        "collect_metrics",
+    ),
+    "allocation": ("fill_fraction", "max_operations"),
+}
+
+_AUDIT_FIELDS = tuple(f.name for f in dataclasses.fields(AuditConfig))
+
+
+def _require_mapping(value: Any, where: str) -> dict:
+    if not isinstance(value, dict):
+        raise ConfigurationError(f"{where}: expected an object, got {value!r}")
+    return value
+
+
+def _reject_unknown(body: dict, allowed: tuple[str, ...], where: str) -> None:
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"{where}: unknown field(s) {', '.join(unknown)}; "
+            f"allowed: {', '.join(allowed)}"
+        )
+
+
+def _decode_policy(body: Any) -> PolicyConfig:
+    body = dict(_require_mapping(body, "policy"))
+    name = body.pop("name", None)
+    if name not in POLICY_CODECS:
+        raise ConfigurationError(
+            f"policy.name: expected one of {', '.join(sorted(POLICY_CODECS))}, "
+            f"got {name!r}"
+        )
+    cls = POLICY_CODECS[name]
+    field_names = tuple(f.name for f in dataclasses.fields(cls))
+    _reject_unknown(body, field_names, f"policy[{name}]")
+    kwargs: dict[str, Any] = {}
+    for key, value in body.items():
+        # Tuple-typed fields (block size ladders, extent ranges) arrive
+        # as JSON arrays.
+        kwargs[key] = tuple(value) if isinstance(value, list) else value
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ConfigurationError(f"policy[{name}]: {error}") from None
+
+
+def _encode_policy(policy: PolicyConfig) -> dict:
+    for name, cls in POLICY_CODECS.items():
+        if type(policy) is cls:
+            body: dict[str, Any] = {"name": name}
+            for f in dataclasses.fields(cls):
+                value = getattr(policy, f.name)
+                body[f.name] = list(value) if isinstance(value, tuple) else value
+            return body
+    raise ConfigurationError(
+        f"policy {type(policy).__name__} has no wire encoding"
+    )
+
+
+def _decode_system(body: Any) -> SystemConfig:
+    body = _require_mapping(body, "system")
+    _reject_unknown(body, _SYSTEM_FIELDS, "system")
+    return SystemConfig(**body)
+
+
+def _encode_system(system: SystemConfig) -> dict:
+    if system.geometry is not WREN_IV and system.geometry != WREN_IV:
+        raise ConfigurationError(
+            "system.geometry: custom geometries have no wire encoding"
+        )
+    return {name: getattr(system, name) for name in _SYSTEM_FIELDS}
+
+
+def _encode_faults(spec: FaultSpec) -> str:
+    """Render a FaultSpec back into the ``--inject`` grammar."""
+    if spec.seed_salt or spec.rebuild_rows_per_chunk != 8:
+        raise ConfigurationError(
+            "faults: seed_salt / rebuild tuning have no wire encoding"
+        )
+    clauses = []
+    # repr() for floats: the grammar re-parses with float(), and %g would
+    # truncate past six significant digits.
+    for f in spec.failures:
+        clause = f"fail:drive={f.drive},at={f.at_ms!r}"
+        if f.repair_after_ms is not None:
+            clause += f",repair={f.repair_after_ms!r}"
+        clauses.append(clause)
+    for s in spec.slowdowns:
+        clause = f"slow:drive={s.drive},at={s.at_ms!r},factor={s.factor!r}"
+        if not math.isinf(s.duration_ms):
+            clause += f",for={s.duration_ms!r}"
+        clauses.append(clause)
+    for t in spec.transients:
+        clause = f"transient:rate={t.rate!r}"
+        if t.drive != ALL_DRIVES:
+            clause += f",drive={t.drive}"
+        if t.start_ms:
+            clause += f",from={t.start_ms!r}"
+        if not math.isinf(t.end_ms):
+            clause += f",until={t.end_ms!r}"
+        clauses.append(clause)
+    return ";".join(clauses)
+
+
+_SPEC_FIELDS = (
+    "kind",
+    "workload",
+    "seed",
+    "policy",
+    "system",
+    "fill_fraction",
+    "faults",
+    "audit",
+    "kwargs",
+)
+
+
+def spec_to_task(spec: Any) -> ExperimentTask:
+    """Build the executable task a JSON spec describes.
+
+    Raises :class:`~repro.errors.ConfigurationError` on any unknown
+    field, bad type, or value the underlying configs reject — the
+    HTTP layer maps those to 400 responses.
+    """
+    spec = _require_mapping(spec, "task spec")
+    _reject_unknown(spec, _SPEC_FIELDS, "task spec")
+    kind = spec.get("kind", "performance")
+    if kind not in _KWARG_FIELDS:
+        raise ConfigurationError(
+            f"kind: expected 'performance' or 'allocation', got {kind!r}"
+        )
+    workload = spec.get("workload")
+    if workload not in ("TS", "TP", "SC"):
+        raise ConfigurationError(
+            f"workload: expected TS, TP, or SC, got {workload!r}"
+        )
+    seed = spec.get("seed", 1991)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ConfigurationError(f"seed: expected an integer, got {seed!r}")
+
+    policy = _decode_policy(spec.get("policy", {"name": "restricted"}))
+    system = _decode_system(spec.get("system", {}))
+
+    faults = None
+    if spec.get("faults"):
+        if not isinstance(spec["faults"], str):
+            raise ConfigurationError(
+                f"faults: expected an --inject string, got {spec['faults']!r}"
+            )
+        faults = parse_fault_spec(spec["faults"])
+
+    config_kwargs: dict[str, Any] = dict(
+        policy=policy, workload=workload, system=system, seed=seed, faults=faults
+    )
+    if "fill_fraction" in spec:
+        config_kwargs["fill_fraction"] = spec["fill_fraction"]
+    config = ExperimentConfig(**config_kwargs)
+
+    kwargs = dict(_require_mapping(spec.get("kwargs", {}), "kwargs"))
+    _reject_unknown(kwargs, _KWARG_FIELDS[kind], "kwargs")
+    if "audit" in spec and spec["audit"] is not None:
+        audit = _require_mapping(spec["audit"], "audit")
+        _reject_unknown(audit, _AUDIT_FIELDS, "audit")
+        kwargs["audit"] = AuditConfig(**audit)
+
+    if kind == "performance":
+        return ExperimentTask.performance(config, **kwargs)
+    return ExperimentTask.allocation(config, **kwargs)
+
+
+def task_to_spec(task: ExperimentTask) -> dict:
+    """The JSON spec describing ``task`` (inverse of :func:`spec_to_task`).
+
+    The round trip preserves the task's ``cache_key``; tasks using
+    features outside the wire format (custom geometries, fault seed
+    salts) raise :class:`~repro.errors.ConfigurationError`.
+    """
+    config = task.config
+    spec: dict[str, Any] = {
+        "kind": task.kind,
+        "workload": config.workload,
+        "seed": config.seed,
+        "policy": _encode_policy(config.policy),
+        "system": _encode_system(config.system),
+    }
+    if config.fill_fraction != 0.91:
+        spec["fill_fraction"] = config.fill_fraction
+    if config.faults is not None:
+        spec["faults"] = _encode_faults(config.faults)
+    kwargs = dict(task.kwargs)
+    audit = kwargs.pop("audit", None)
+    if audit is not None:
+        spec["audit"] = {
+            f.name: getattr(audit, f.name)
+            for f in dataclasses.fields(AuditConfig)
+        }
+    if kwargs:
+        spec["kwargs"] = kwargs
+    return spec

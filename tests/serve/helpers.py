@@ -1,0 +1,79 @@
+"""Shared fixtures for the serve tests: spec builders and picklable
+work functions for the spawn workers.
+
+The service validates every submission through the codec, so scripted
+work functions receive *canonical* specs; behavior is keyed on the seed:
+
+* ``666`` — scripted deterministic task failure (``task-error``).
+* ``[700, 800)`` — gated: blocks until the ``REPRO_TEST_GATE`` file
+  disappears (lets tests hold jobs in flight deterministically).
+* ``[900, 1000)`` — suicidal: the worker SIGKILLs itself on the first
+  attempt (flag file under ``REPRO_TEST_GATE``'s directory) and
+  succeeds on the retry.
+* anything else — returns immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def spec_for(seed: int, scale: float = 0.02, **kwargs) -> dict:
+    spec = {
+        "kind": "performance",
+        "workload": "TS",
+        "seed": seed,
+        "policy": {"name": "fixed", "block_size": "4K"},
+        "system": {"scale": scale},
+    }
+    spec.update(kwargs)
+    return spec
+
+
+def tiny_real_spec(seed: int = 7) -> dict:
+    """A spec small enough to really execute in well under a second."""
+    return spec_for(
+        seed, kwargs={"app_cap_ms": 1_000.0, "seq_cap_ms": 1_000.0}
+    )
+
+
+def scripted_work(spec: dict) -> tuple:
+    seed = spec["seed"]
+    if seed == 666:
+        return ("task-error", "Traceback: scripted deterministic failure", 0.0)
+    if 700 <= seed < 800:
+        gate = os.environ.get("REPRO_TEST_GATE")
+        while gate and os.path.exists(gate):
+            time.sleep(0.02)
+    if 900 <= seed < 1000:
+        gate = os.environ.get("REPRO_TEST_GATE", "")
+        flag = f"{gate}.attempted.{seed}"
+        if not os.path.exists(flag):
+            with open(flag, "w") as handle:
+                handle.write("attempted")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return ("ok", {"seed": seed, "square": seed * seed}, 0.01)
+
+
+def emitting_work(spec: dict) -> tuple:
+    """Streams a few telemetry frames before finishing (SSE tests)."""
+    from repro.obs.telemetry import emit
+
+    for tick in range(3):
+        emit({"stage": "tick", "sim_ms": float(tick), "cap_ms": 3.0})
+        time.sleep(0.05)
+    return ("ok", {"seed": spec["seed"]}, 0.15)
+
+
+def drain_gated(service, gate: str, timeout_s: float = 10.0) -> None:
+    """Release the gate and wait for the service to go idle."""
+    if os.path.exists(gate):
+        os.unlink(gate)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if service.stats_view()["depth"] == 0:
+            return
+        time.sleep(0.02)
+    raise AssertionError("service did not drain in time")

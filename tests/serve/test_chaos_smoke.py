@@ -1,0 +1,39 @@
+"""Chaos-harness smoke: run real drills from tools/chaos_serve.py.
+
+The full harness (``python tools/chaos_serve.py``) exercises every
+drill; these tests pin the two acceptance-critical ones — SIGKILL'd
+daemon restarting bit-identically, and a burst of identical requests
+costing one simulation — so the guarantee cannot rot silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+HARNESS = REPO / "tools" / "chaos_serve.py"
+
+
+def run_drill(name: str, tmp_path: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [
+            sys.executable, str(HARNESS),
+            "--drill", name, "--scratch", str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO),
+    )
+
+
+def test_sigkill_restart_drill_is_bit_identical(tmp_path):
+    result = run_drill("restart", tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "chaos[restart]: PASS" in result.stdout
+
+
+def test_identical_request_burst_costs_one_simulation(tmp_path):
+    result = run_drill("dedup", tmp_path)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "chaos[dedup]: PASS" in result.stdout

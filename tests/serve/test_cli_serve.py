@@ -1,0 +1,104 @@
+"""Tests for the ``repro serve`` / ``repro submit`` CLI surface."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serve import ExperimentService, make_daemon
+
+from .helpers import scripted_work, spec_for
+
+
+class TestParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--state-dir", "/tmp/state", "--port", "0",
+                "--workers", "4", "--max-queue", "64", "--timeout", "300",
+                "--retries", "2", "--chaos",
+            ]
+        )
+        assert args.state_dir == "/tmp/state"
+        assert args.workers == 4
+        assert args.max_queue == 64
+        assert args.timeout == 300.0
+        assert args.chaos
+
+    def test_serve_requires_state_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "--url", "http://127.0.0.1:9999",
+                "--kind", "alloc", "--policy", "extent", "--workload", "TP",
+                "--priority", "high", "--wait", "30", "--follow",
+            ]
+        )
+        assert args.url == "http://127.0.0.1:9999"
+        assert args.kind == "alloc"
+        assert args.priority == "high"
+        assert args.wait == 30.0
+        assert args.follow
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(["submit"])
+        assert args.url == "http://127.0.0.1:8765"
+        assert args.kind == "perf"
+        assert args.priority == "normal"
+        assert args.spec is None
+
+
+class TestSubmitRoundTrip:
+    @pytest.fixture
+    def live_daemon(self, tmp_path):
+        service = ExperimentService(
+            tmp_path / "state", workers=1, work_fn=scripted_work
+        )
+        service.start()
+        daemon = make_daemon(service, port=0)
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        host, port = daemon.server_address[:2]
+        yield f"http://{host}:{port}"
+        daemon.shutdown()
+        daemon.server_close()
+        service.stop()
+
+    def test_submit_spec_file_and_wait(self, live_daemon, tmp_path, capsys):
+        spec_path = tmp_path / "point.json"
+        spec_path.write_text(json.dumps(spec_for(17)))
+        status = main(
+            [
+                "submit", "--url", live_daemon,
+                "--spec", str(spec_path), "--wait", "30",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr()
+        body = json.loads(out.out)
+        assert body["status"] == "done"
+        assert body["summary"]["result_digest"]
+        assert "submit: job" in out.err
+
+    def test_submit_flag_built_spec_without_wait_exits_9(
+        self, live_daemon, capsys
+    ):
+        status = main(
+            ["submit", "--url", live_daemon, "--kind", "perf", "--seed", "18"]
+        )
+        # scripted work is instantaneous, but without --wait the CLI
+        # reports whatever state the job is in; both are legal here.
+        assert status in (0, 9)
+        body = json.loads(capsys.readouterr().out)
+        assert body["submitted"] in ("queued", "done")
+
+    def test_unreachable_daemon_is_a_clean_error(self, capsys):
+        status = main(
+            ["submit", "--url", "http://127.0.0.1:1", "--wait", "1"]
+        )
+        assert status == 2
+        assert "cannot reach" in capsys.readouterr().err

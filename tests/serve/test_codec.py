@@ -1,0 +1,148 @@
+"""Tests for the JSON wire codec: strict validation + key-preserving
+round trips (what makes ledger specs a faithful recovery record)."""
+
+import pytest
+
+from repro.audit import AuditConfig
+from repro.core.configs import (
+    BuddyPolicy,
+    ExperimentConfig,
+    ExtentPolicy,
+    FfsPolicy,
+    FixedPolicy,
+    LogStructuredPolicy,
+    RestrictedPolicy,
+    SystemConfig,
+)
+from repro.core.runner import ExperimentTask
+from repro.errors import ConfigurationError
+from repro.fault.plan import parse_fault_spec
+from repro.serve import spec_to_task, task_to_spec
+
+
+def roundtrip(task: ExperimentTask) -> ExperimentTask:
+    return spec_to_task(task_to_spec(task))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            BuddyPolicy(),
+            RestrictedPolicy(grow_factor=2, clustered=False),
+            ExtentPolicy(range_means=(4096, 65536), fit="best"),
+            FixedPolicy(block_size="16K", aged=True),
+            FfsPolicy(block_size="8K"),
+            LogStructuredPolicy(),
+        ],
+    )
+    def test_every_policy_roundtrips_with_same_cache_key(self, policy):
+        config = ExperimentConfig(
+            policy=policy, workload="TP", system=SystemConfig(scale=0.05), seed=3
+        )
+        task = ExperimentTask.performance(config, app_cap_ms=9_000.0)
+        assert roundtrip(task).cache_key == task.cache_key
+
+    def test_allocation_task_roundtrips(self):
+        config = ExperimentConfig(
+            policy=RestrictedPolicy(),
+            workload="SC",
+            system=SystemConfig(scale=0.1),
+            seed=11,
+            fill_fraction=0.5,
+        )
+        task = ExperimentTask.allocation(config, max_operations=500)
+        assert roundtrip(task).cache_key == task.cache_key
+
+    def test_faults_roundtrip_including_high_precision_times(self):
+        faults = parse_fault_spec(
+            "fail:drive=2,at=5000.125,repair=40000.0625;"
+            "slow:drive=0,at=123.456789012345,factor=4.5,for=1000;"
+            "transient:rate=0.0012345678901234567,drive=1,from=10,until=99999"
+        )
+        config = ExperimentConfig(
+            policy=FixedPolicy(),
+            workload="TS",
+            system=SystemConfig(scale=0.05, organization="raid5"),
+            seed=5,
+            faults=faults,
+        )
+        task = ExperimentTask.performance(config)
+        again = roundtrip(task)
+        assert again.cache_key == task.cache_key
+        assert again.config.faults == faults
+
+    def test_audit_config_roundtrips(self):
+        config = ExperimentConfig(
+            policy=FixedPolicy(), workload="TS",
+            system=SystemConfig(scale=0.05), seed=5,
+        )
+        task = ExperimentTask.performance(
+            config, audit=AuditConfig(fingerprints=True)
+        )
+        again = roundtrip(task)
+        assert again.cache_key == task.cache_key
+        assert dict(again.kwargs)["audit"].fingerprints is True
+
+    def test_system_organization_and_striping_roundtrip(self):
+        config = ExperimentConfig(
+            policy=FixedPolicy(),
+            workload="TS",
+            system=SystemConfig(
+                scale=0.05, n_disks=4, organization="mirrored",
+                queue_discipline="fcfs",
+            ),
+            seed=2,
+        )
+        task = ExperimentTask.performance(config)
+        assert roundtrip(task).cache_key == task.cache_key
+
+
+class TestValidation:
+    def base_spec(self) -> dict:
+        return {
+            "kind": "performance",
+            "workload": "TS",
+            "seed": 7,
+            "policy": {"name": "fixed", "block_size": "4K"},
+            "system": {"scale": 0.02},
+        }
+
+    def test_minimal_spec_gets_defaults(self):
+        task = spec_to_task({"workload": "SC"})
+        assert task.kind == "performance"
+        assert task.config.seed == 1991
+        assert isinstance(task.config.policy, RestrictedPolicy)
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"typo_field": 1}, "unknown field"),
+            ({"kind": "nonsense"}, "kind"),
+            ({"workload": "XX"}, "workload"),
+            ({"seed": "seven"}, "seed"),
+            ({"seed": True}, "seed"),
+            ({"policy": {"name": "zfs"}}, "policy.name"),
+            ({"policy": {"name": "fixed", "blok_size": "4K"}}, "unknown"),
+            ({"system": {"scael": 0.1}}, "unknown"),
+            ({"faults": 42}, "faults"),
+            ({"kwargs": {"nope": 1}}, "unknown"),
+            ({"audit": {"nope": True}}, "unknown"),
+        ],
+    )
+    def test_malformed_specs_are_rejected_with_context(self, mutation, fragment):
+        spec = self.base_spec()
+        spec.update(mutation)
+        with pytest.raises(ConfigurationError, match=fragment):
+            spec_to_task(spec)
+
+    def test_non_object_spec_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="expected an object"):
+            spec_to_task([1, 2, 3])
+
+    def test_allocation_rejects_performance_kwargs(self):
+        spec = self.base_spec()
+        spec["kind"] = "allocation"
+        spec["kwargs"] = {"app_cap_ms": 100.0}
+        with pytest.raises(ConfigurationError, match="unknown"):
+            spec_to_task(spec)

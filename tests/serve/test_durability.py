@@ -1,0 +1,96 @@
+"""Tests for the durability satellites: concurrent-writer-safe result
+cache stores and per-thread telemetry emitter slots."""
+
+import threading
+
+from repro.core.runner import ResultCache
+from repro.obs.telemetry import (
+    emit,
+    install_emitter,
+    telemetry_enabled,
+    uninstall_emitter,
+)
+
+
+class TestConcurrentCacheStores:
+    def test_racing_writers_on_one_key_never_tear_the_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        barrier = threading.Barrier(8)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for round_ in range(25):
+                cache.store("contested", {"worker": worker, "round": round_})
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Last-writer-wins semantics: the surviving entry is one of the
+        # writes, complete and checksum-valid — never an interleaving.
+        result = cache.load("contested")
+        assert result is not None
+        assert set(result) == {"worker", "round"}
+        assert cache.evictions == 0
+        # Every temp file was cleaned up (unique names per writer).
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_distinct_keys_from_many_threads_all_land(self, tmp_path):
+        cache = ResultCache(tmp_path)
+
+        def store(k: int) -> None:
+            cache.store(f"key-{k}", {"value": k})
+
+        threads = [threading.Thread(target=store, args=(k,)) for k in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for k in range(16):
+            assert cache.load(f"key-{k}") == {"value": k}
+
+
+class TestThreadLocalEmitters:
+    def test_emitters_are_isolated_per_thread(self):
+        seen_main: list[dict] = []
+        seen_other: list[dict] = []
+        errors: list[str] = []
+
+        def other_thread() -> None:
+            # A sibling thread installing and removing its own emitter
+            # must not disturb the main thread's slot.
+            install_emitter(seen_other.append)
+            emit({"from": "other"})
+            uninstall_emitter()
+            if telemetry_enabled():
+                errors.append("other thread still enabled after uninstall")
+
+        install_emitter(seen_main.append)
+        try:
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+            emit({"from": "main"})
+        finally:
+            uninstall_emitter()
+
+        assert errors == []
+        assert seen_main == [{"from": "main"}]
+        assert seen_other == [{"from": "other"}]
+
+    def test_thread_without_emitter_is_disabled(self):
+        states: list[bool] = []
+        worker = threading.Thread(
+            target=lambda: states.append(telemetry_enabled())
+        )
+        install_emitter(lambda frame: None)
+        try:
+            worker.start()
+            worker.join()
+        finally:
+            uninstall_emitter()
+        assert states == [False]

@@ -1,0 +1,112 @@
+"""Tests for the durable run ledger: replay, torn-tail repair,
+compaction, and the deterministic-failure record."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import RunLedger
+
+
+def test_accept_then_done_replays_as_completed(tmp_path):
+    ledger = RunLedger(tmp_path)
+    assert ledger.open() == {}
+    ledger.accept("k1", {"seed": 1}, priority=0)
+    ledger.accept("k2", {"seed": 2})
+    ledger.done("k1")
+    ledger.close()
+
+    entries = RunLedger(tmp_path).open()
+    assert set(entries) == {"k1", "k2"}
+    assert entries["k1"].done and entries["k1"].error is None
+    assert entries["k1"].priority == 0
+    assert not entries["k2"].done
+    assert entries["k2"].spec == {"seed": 2}
+
+
+def test_replay_preserves_acceptance_order(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    for i in range(5):
+        ledger.accept(f"k{i}", {"seed": i})
+    ledger.close()
+    assert list(RunLedger(tmp_path).open()) == [f"k{i}" for i in range(5)]
+
+
+def test_torn_tail_is_truncated_not_fatal(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    ledger.accept("good", {"seed": 1})
+    ledger.close()
+    path = tmp_path / "ledger.jsonl"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"op": "accept", "key": "torn", "spe')  # no newline
+
+    again = RunLedger(tmp_path)
+    entries = again.open()
+    assert set(entries) == {"good"}
+    assert again.recovered_bytes > 0
+    # The compacted file is clean again: a third open loses nothing.
+    third = RunLedger(tmp_path)
+    assert set(third.open()) == {"good"}
+    assert third.recovered_bytes == 0
+
+
+def test_garbage_line_stops_replay_at_last_good_record(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    ledger.accept("before", {"seed": 1})
+    ledger.close()
+    path = tmp_path / "ledger.jsonl"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\x00\x00 not json at all \x00\n")
+        handle.write(json.dumps({"op": "accept", "key": "after", "spec": {}}) + "\n")
+
+    entries = RunLedger(tmp_path).open()
+    # Everything after the corruption is suspect and dropped.
+    assert set(entries) == {"before"}
+
+
+def test_deterministic_failure_survives_reopen(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    ledger.accept("bad", {"seed": 666})
+    ledger.done("bad", error="Traceback: scripted")
+    ledger.close()
+
+    entries = RunLedger(tmp_path).open()
+    assert entries["bad"].done
+    assert "scripted" in entries["bad"].error
+
+
+def test_compaction_bounds_file_size(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    # Many redundant records for the same keys...
+    for _ in range(50):
+        ledger.accept("k", {"seed": 1})
+        ledger.done("k")
+    ledger.close()
+    before = (tmp_path / "ledger.jsonl").stat().st_size
+
+    RunLedger(tmp_path).open()
+    after = (tmp_path / "ledger.jsonl").stat().st_size
+    # ...collapse to one accept + one done stub on reopen.
+    assert after < before / 10
+    lines = (tmp_path / "ledger.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+
+
+def test_append_without_open_is_an_error(tmp_path):
+    with pytest.raises(ServiceError, match="not open"):
+        RunLedger(tmp_path).accept("k", {})
+
+
+def test_extra_fields_survive_the_round_trip(tmp_path):
+    ledger = RunLedger(tmp_path)
+    ledger.open()
+    ledger.accept("k", {"seed": 1}, client="test-suite")
+    ledger.close()
+    entries = RunLedger(tmp_path).open()
+    assert entries["k"].extra == {"client": "test-suite"}
